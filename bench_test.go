@@ -1,0 +1,488 @@
+// Package repro's benchmark harness: one benchmark per table and figure of
+// the paper (running the virtual-time reproduction at full System X scale)
+// plus real-runtime microbenchmarks of the redistribution library, the
+// distributed kernels and the message-passing layer, and the ablation
+// benches called out in DESIGN.md.
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/blacs"
+	"repro/internal/blockcyclic"
+	"repro/internal/experiments"
+	"repro/internal/grid"
+	"repro/internal/mpi"
+	"repro/internal/perfmodel"
+	"repro/internal/redistrib"
+	"repro/internal/scheduler"
+	"repro/internal/simcluster"
+	"repro/internal/workload"
+)
+
+// --- Paper experiments (virtual time, System X scale) ------------------------
+
+func BenchmarkTable2Configs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := experiments.Table2(); len(rows) != 10 {
+			b.Fatalf("%d rows", len(rows))
+		}
+	}
+}
+
+func BenchmarkFig2aLUSweep(b *testing.B) {
+	params := perfmodel.SystemX()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig2a(params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2bRedistOverhead(b *testing.B) {
+	params := perfmodel.SystemX()
+	for i := 0; i < b.N; i++ {
+		if data := experiments.Fig2b(params); len(data) != 7 {
+			b.Fatal("missing series")
+		}
+	}
+}
+
+func BenchmarkFig3aResizeTrace(b *testing.B) {
+	params := perfmodel.SystemX()
+	for i := 0; i < b.N; i++ {
+		iters, err := experiments.Fig3a(params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(iters) != 10 {
+			b.Fatalf("%d iterations", len(iters))
+		}
+	}
+}
+
+func BenchmarkFig3bCheckpointVsReshape(b *testing.B) {
+	params := perfmodel.SystemX()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig3b(params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 5 {
+			b.Fatalf("%d rows", len(rows))
+		}
+	}
+}
+
+func BenchmarkFig4Workload1(b *testing.B) {
+	params := perfmodel.SystemX()
+	for i := 0; i < b.N; i++ {
+		cmp, err := experiments.RunW1(params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(100*cmp.StaticUtilization, "static-util-%")
+			b.ReportMetric(100*cmp.DynamicUtilization, "dynamic-util-%")
+		}
+	}
+}
+
+func BenchmarkTable4Turnaround(b *testing.B) {
+	params := perfmodel.SystemX()
+	for i := 0; i < b.N; i++ {
+		cmp, err := experiments.RunW1(params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cmp.Rows) != 5 {
+			b.Fatalf("%d rows", len(cmp.Rows))
+		}
+	}
+}
+
+func BenchmarkFig5Workload2(b *testing.B) {
+	params := perfmodel.SystemX()
+	for i := 0; i < b.N; i++ {
+		cmp, err := experiments.RunW2(params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(100*cmp.DynamicUtilization, "dynamic-util-%")
+		}
+	}
+}
+
+func BenchmarkTable5Turnaround(b *testing.B) {
+	params := perfmodel.SystemX()
+	for i := 0; i < b.N; i++ {
+		cmp, err := experiments.RunW2(params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cmp.Rows) != 4 {
+			b.Fatalf("%d rows", len(cmp.Rows))
+		}
+	}
+}
+
+// BenchmarkWorkloadSimScale measures simulator throughput on a heavier
+// synthetic mix (20 jobs), showing the virtual-time engine itself is cheap.
+func BenchmarkWorkloadSimScale(b *testing.B) {
+	params := perfmodel.SystemX()
+	var jobs []simcluster.JobInput
+	sizes := []int{8000, 12000, 14000, 16000, 20000}
+	for i := 0; i < 20; i++ {
+		n := sizes[i%len(sizes)]
+		start := experiments.StartTopo(n)
+		jobs = append(jobs, simcluster.JobInput{
+			Spec: scheduler.JobSpec{
+				Name: "job", App: "lu", ProblemSize: n, Iterations: 10,
+				InitialTopo: start, Chain: experiments.Chain(n),
+			},
+			Model:   perfmodel.AppModel{App: "lu", N: n},
+			Arrival: float64(i) * 120,
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := simcluster.New(workload.ClusterProcs, simcluster.Dynamic, params, jobs).Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Real-runtime redistribution benches --------------------------------------
+
+// benchRedistribute moves a m x m matrix between two grids on real goroutine
+// ranks and reports bytes/s.
+func benchRedistribute(b *testing.B, m, nb int, from, to grid.Topology) {
+	src := blockcyclic.Layout{M: m, N: m, MB: nb, NB: nb, Grid: from}
+	dst := blockcyclic.Layout{M: m, N: m, MB: nb, NB: nb, Grid: to}
+	global := make([]float64, m*m)
+	rng := rand.New(rand.NewSource(1))
+	for i := range global {
+		global[i] = rng.Float64()
+	}
+	pieces := blockcyclic.Distribute(global, src)
+	world := from.Count()
+	if to.Count() > world {
+		world = to.Count()
+	}
+	pl, err := redistrib.NewPlan(src, dst)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(m * m * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := mpi.Run(world, func(c *mpi.Comm) error {
+			var mine []float64
+			if c.Rank() < from.Count() {
+				mine = pieces[c.Rank()].Data
+			}
+			pl.Execute(c, mine)
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRealRedistributeExpand4to6(b *testing.B) {
+	benchRedistribute(b, 240, 8, grid.Topology{Rows: 2, Cols: 2}, grid.Topology{Rows: 2, Cols: 3})
+}
+
+func BenchmarkRealRedistributeShrink6to4(b *testing.B) {
+	benchRedistribute(b, 240, 8, grid.Topology{Rows: 2, Cols: 3}, grid.Topology{Rows: 2, Cols: 2})
+}
+
+func BenchmarkRealRedistribute1D(b *testing.B) {
+	benchRedistribute(b, 240, 8, grid.Row1D(3), grid.Row1D(4))
+}
+
+func BenchmarkRealCheckpointRedistribute(b *testing.B) {
+	m, nb := 240, 8
+	from := grid.Topology{Rows: 2, Cols: 2}
+	to := grid.Topology{Rows: 2, Cols: 3}
+	src := blockcyclic.Layout{M: m, N: m, MB: nb, NB: nb, Grid: from}
+	dst := blockcyclic.Layout{M: m, N: m, MB: nb, NB: nb, Grid: to}
+	global := make([]float64, m*m)
+	pieces := blockcyclic.Distribute(global, src)
+	dir := b.TempDir()
+	b.SetBytes(int64(m * m * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := mpi.Run(6, func(c *mpi.Comm) error {
+			var mine []float64
+			if c.Rank() < 4 {
+				mine = pieces[c.Rank()].Data
+			}
+			_, _, err := redistrib.CheckpointRedistributeDir(c, src, mine, dst, dir)
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation: circulant schedule vs naive single-phase ----------------------
+
+func BenchmarkScheduleCirculant(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sched := redistrib.Schedule1D(36, 48)
+		if redistrib.MaxReceiveContention(sched) != 1 {
+			b.Fatal("circulant schedule has contention")
+		}
+	}
+	b.ReportMetric(float64(len(redistrib.Schedule1D(36, 48))), "steps")
+}
+
+func BenchmarkScheduleNaive(b *testing.B) {
+	var contention int
+	for i := 0; i < b.N; i++ {
+		sched := redistrib.ScheduleNaive(36, 48)
+		contention = redistrib.MaxReceiveContention(sched)
+	}
+	b.ReportMetric(float64(contention), "max-contention")
+}
+
+// BenchmarkResampleVsSchedule compares the generic element-wise resampling
+// path against the circulant-schedule path on the same transition (ablation:
+// the schedule-based algorithm is the paper's contribution, resampling the
+// generic fallback for block-size changes).
+func BenchmarkResampleGenericPath(b *testing.B) {
+	m, nb := 240, 8
+	from := grid.Topology{Rows: 2, Cols: 2}
+	to := grid.Topology{Rows: 2, Cols: 3}
+	src := blockcyclic.Layout{M: m, N: m, MB: nb, NB: nb, Grid: from}
+	dst := blockcyclic.Layout{M: m, N: m, MB: nb, NB: nb, Grid: to}
+	global := make([]float64, m*m)
+	pieces := blockcyclic.Distribute(global, src)
+	b.SetBytes(int64(m * m * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := mpi.Run(6, func(c *mpi.Comm) error {
+			var mine []float64
+			if c.Rank() < 4 {
+				mine = pieces[c.Rank()].Data
+			}
+			_, err := redistrib.Resample(c, src, mine, dst)
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Policy ablation and load sweep -------------------------------------------
+
+func BenchmarkAblationPolicies(b *testing.B) {
+	params := perfmodel.SystemX()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.PolicyAblation(params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				if r.Policy == "paper" {
+					b.ReportMetric(100*r.Utilization, "paper-util-%")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkLoadSweep(b *testing.B) {
+	params := perfmodel.SystemX()
+	for i := 0; i < b.N; i++ {
+		pts, err := workload.LoadSweep(36, params, 12, 5, []float64{200, 800})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) != 2 {
+			b.Fatal("missing points")
+		}
+	}
+}
+
+// --- Real distributed kernels -------------------------------------------------
+
+func BenchmarkRealDistLU(b *testing.B) {
+	const n, nb = 96, 8
+	topo := grid.Topology{Rows: 2, Cols: 2}
+	l := blockcyclic.Layout{M: n, N: n, MB: nb, NB: nb, Grid: topo}
+	global := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			global[i*n+j] = 1.0 / (1.0 + float64((i-j)*(i-j)))
+		}
+		global[i*n+i] += float64(n)
+	}
+	pieces := blockcyclic.Distribute(global, l)
+	b.SetBytes(int64(n * n * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := mpi.Run(4, func(c *mpi.Comm) error {
+			ctx, err := blacs.New(c, topo)
+			if err != nil {
+				return err
+			}
+			local := make([]float64, len(pieces[c.Rank()].Data))
+			copy(local, pieces[c.Rank()].Data)
+			return apps.DistLU(ctx, l, local)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRealDistMatMul(b *testing.B) {
+	const n, nb = 64, 8
+	topo := grid.Topology{Rows: 2, Cols: 2}
+	l := blockcyclic.Layout{M: n, N: n, MB: nb, NB: nb, Grid: topo}
+	global := make([]float64, n*n)
+	for i := range global {
+		global[i] = float64(i % 17)
+	}
+	aP := blockcyclic.Distribute(global, l)
+	bP := blockcyclic.Distribute(global, l)
+	b.SetBytes(int64(2 * n * n * n)) // flops as bytes proxy
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := mpi.Run(4, func(c *mpi.Comm) error {
+			ctx, err := blacs.New(c, topo)
+			if err != nil {
+				return err
+			}
+			out := make([]float64, len(aP[c.Rank()].Data))
+			return apps.DistMatMul(ctx, l, aP[c.Rank()].Data, bP[c.Rank()].Data, out)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRealFFT2D(b *testing.B) {
+	const n = 64
+	topo := grid.Row1D(4)
+	l := blockcyclic.Layout{M: n, N: 2 * n, MB: 2, NB: 2 * n, Grid: topo}
+	global := make([]float64, n*2*n)
+	for i := range global {
+		global[i] = float64(i % 13)
+	}
+	pieces := blockcyclic.Distribute(global, l)
+	b.SetBytes(int64(n * n * 16))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := mpi.Run(4, func(c *mpi.Comm) error {
+			ctx, err := blacs.New(c, topo)
+			if err != nil {
+				return err
+			}
+			local := make([]float64, len(pieces[c.Rank()].Data))
+			copy(local, pieces[c.Rank()].Data)
+			return apps.FFT2D(ctx, l, local, false)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Runtime microbenchmarks ---------------------------------------------------
+
+func BenchmarkMPIAllreduce8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		err := mpi.Run(8, func(c *mpi.Comm) error {
+			xs := []float64{float64(c.Rank())}
+			for k := 0; k < 10; k++ {
+				c.Allreduce(xs, mpi.SumOp)
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMPISpawnMerge(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		err := mpi.Run(2, func(c *mpi.Comm) error {
+			ic := c.Spawn(2, func(child *mpi.Intercomm) error {
+				m := child.Merge()
+				m.Barrier()
+				return nil
+			})
+			m := ic.Merge()
+			m.Barrier()
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRealDistCG(b *testing.B) {
+	const n, nb = 48, 4
+	topo := grid.Topology{Rows: 2, Cols: 2}
+	l := blockcyclic.Layout{M: n, N: n, MB: nb, NB: nb, Grid: topo}
+	global := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			global[i*n+j] = 1.0 / (1.0 + float64((i-j)*(i-j)))
+		}
+		global[i*n+i] += float64(n)
+	}
+	pieces := blockcyclic.Distribute(global, l)
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := mpi.Run(4, func(c *mpi.Comm) error {
+			ctx, err := blacs.New(c, topo)
+			if err != nil {
+				return err
+			}
+			x := make([]float64, n)
+			_, err = apps.DistCG(ctx, l, pieces[c.Rank()].Data, rhs, x, 8)
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSchedulerContact(b *testing.B) {
+	core := scheduler.NewCore(50, true)
+	job, _, err := core.Submit(scheduler.JobSpec{
+		Name: "lu", App: "lu", ProblemSize: 12000, Iterations: 1 << 30,
+		InitialTopo: grid.Topology{Rows: 3, Cols: 4},
+		Chain:       experiments.Chain(12000),
+	}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Contact(job.ID, job.Topo, 50.0, 0, float64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Command reshape-submit submits a job to a reshaped daemon (the paper's
+// command-line submission process) or queries scheduler status.
+//
+// Usage:
+//
+//	reshape-submit -addr 127.0.0.1:7077 -name mylu -app lu -n 64 -nb 4 \
+//	    -iters 10 -rows 1 -cols 2 -max 16 -wait
+//	reshape-submit -addr 127.0.0.1:7077 -status
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/grid"
+	"repro/internal/rpc"
+	"repro/internal/scheduler"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7077", "daemon address")
+	status := flag.Bool("status", false, "print scheduler status and exit")
+	name := flag.String("name", "job", "job name")
+	app := flag.String("app", "lu", "application: lu, mm, jacobi, fft, mw")
+	n := flag.Int("n", 64, "problem size")
+	nb := flag.Int("nb", 4, "block size")
+	iters := flag.Int("iters", 10, "outer iterations")
+	rows := flag.Int("rows", 1, "initial grid rows")
+	cols := flag.Int("cols", 2, "initial grid columns")
+	maxProcs := flag.Int("max", 16, "largest processor count in the configuration chain")
+	wait := flag.Bool("wait", false, "block until the job completes")
+	flag.Parse()
+
+	cl := &rpc.Client{Addr: *addr}
+
+	if *status {
+		st, err := cl.Status()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("processors: %d total, %d free\n", st.Total, st.Free)
+		for _, j := range st.Jobs {
+			fmt.Printf("job %d %-12s %-8s topo=%v submit=%.1f start=%.1f end=%.1f\n",
+				j.ID, j.Name, j.State, j.Topo, j.Submit, j.Start, j.End)
+		}
+		return
+	}
+
+	initial := grid.Topology{Rows: *rows, Cols: *cols}
+	var chain []grid.Topology
+	if *app == "lu" || *app == "mm" {
+		chain = grid.GrowthChain(initial, *n, *maxProcs)
+	} else {
+		for _, p := range grid.Chain1D(*n, initial.Count(), *maxProcs) {
+			chain = append(chain, grid.Row1D(p))
+		}
+		if len(chain) == 0 || *app == "mw" {
+			chain = nil
+			for p := initial.Count(); p <= *maxProcs; p += 2 {
+				chain = append(chain, grid.Row1D(p))
+			}
+		}
+		initial = chain[0]
+	}
+
+	id, err := cl.Submit(scheduler.JobSpec{
+		Name:        *name,
+		App:         *app,
+		ProblemSize: *n,
+		BlockSize:   *nb,
+		Iterations:  *iters,
+		InitialTopo: initial,
+		Chain:       chain,
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("submitted job %d (%s, %s, n=%d) starting on %v\n", id, *name, *app, *n, initial)
+	if *wait {
+		if err := cl.Wait(id); err != nil {
+			fail(err)
+		}
+		fmt.Printf("job %d finished\n", id)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "reshape-submit:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,63 @@
+// Command reshaped is the ReSHAPE scheduler daemon: it manages a pool of
+// processors, accepts job submissions over TCP, runs the submitted
+// applications on its own message-passing runtime, and dynamically resizes
+// them according to the Remap Scheduler policy.
+//
+// Usage:
+//
+//	reshaped -addr 127.0.0.1:7077 -procs 16 -backfill
+//
+// Submit jobs with reshape-submit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"repro/internal/apps"
+	"repro/internal/rpc"
+	"repro/internal/scheduler"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7077", "listen address")
+	procs := flag.Int("procs", 16, "number of processors in the pool")
+	backfill := flag.Bool("backfill", true, "enable simple backfill in addition to FCFS")
+	flag.Parse()
+
+	var srv *scheduler.Server
+	srv = scheduler.NewServer(*procs, *backfill, func(j *scheduler.Job) {
+		cfg := apps.Config{
+			App:        j.Spec.App,
+			N:          j.Spec.ProblemSize,
+			NB:         j.Spec.BlockSize,
+			Iterations: j.Spec.Iterations,
+		}
+		if cfg.NB <= 0 {
+			cfg.NB = 2
+		}
+		log.Printf("starting job %d (%s) on %v", j.ID, j.Spec.Name, j.Topo)
+		if err := apps.Launch(srv, j.ID, j.Topo, cfg); err != nil {
+			log.Printf("job %d failed: %v", j.ID, err)
+			_ = srv.JobEnd(j.ID)
+			return
+		}
+		log.Printf("job %d (%s) finished", j.ID, j.Spec.Name)
+	})
+
+	rpcSrv, err := rpc.Serve(*addr, srv)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	log.Printf("reshaped: %d processors, listening on %s", *procs, rpcSrv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Println("reshaped: shutting down")
+	_ = rpcSrv.Close()
+}

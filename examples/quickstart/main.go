@@ -1,0 +1,58 @@
+// Quickstart: run one resizable LU job under an in-process ReSHAPE
+// scheduler and watch it expand across an idle pool.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/apps"
+	"repro/internal/grid"
+	"repro/internal/scheduler"
+)
+
+func main() {
+	const procs = 8
+
+	// The scheduler server owns the processor pool. Its JobStarter launches
+	// each granted job on a fresh set of ranks (goroutines).
+	var srv *scheduler.Server
+	srv = scheduler.NewServer(procs, true, func(j *scheduler.Job) {
+		cfg := apps.Config{App: "lu", N: 32, NB: 4, Iterations: 6}
+		if err := apps.Launch(srv, j.ID, j.Topo, cfg); err != nil {
+			log.Fatalf("job failed: %v", err)
+		}
+	})
+
+	// Submit a 32x32 LU job starting on 1x2 processors; its configuration
+	// chain allows growth up to the full pool.
+	start := grid.Topology{Rows: 1, Cols: 2}
+	job, err := srv.Submit(scheduler.JobSpec{
+		Name:        "quickstart-lu",
+		App:         "lu",
+		ProblemSize: 32,
+		BlockSize:   4,
+		Iterations:  6,
+		InitialTopo: start,
+		Chain:       grid.GrowthChain(start, 32, procs),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv.Wait(job.ID)
+
+	fmt.Println("allocation history:")
+	for _, e := range srv.Core().Events {
+		fmt.Printf("  t=%7.3fs %-7s %-14s topo=%-5v busy=%d/%d\n",
+			e.Time, e.Kind, e.Job, e.Topo, e.Busy, procs)
+	}
+	j, _ := srv.Core().Job(job.ID)
+	fmt.Println("\nconfigurations visited (the Performance Profiler's record):")
+	for _, v := range j.Profile.Visits {
+		fmt.Printf("  %-5v %2d iterations, last iteration %.4fs\n",
+			v.Topo, len(v.IterTimes), v.Last())
+	}
+	fmt.Printf("\njob turnaround: %.3fs\n", j.EndTime-j.SubmitTime)
+}

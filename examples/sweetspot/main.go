@@ -1,0 +1,40 @@
+// Sweet-spot probing: reproduce Figure 3(a) — a lone LU factorization on
+// n=12000 probes ever-larger processor configurations, detects that 16
+// processors is worse than 12, shrinks back, and holds its sweet spot. The
+// run uses the virtual-time simulator at full System X scale.
+//
+//	go run ./examples/sweetspot
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+	"repro/internal/perfmodel"
+)
+
+func main() {
+	params := perfmodel.SystemX()
+	iters, err := experiments.Fig3a(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("LU factorization, n=12000, ReSHAPE on an idle 50-processor cluster")
+	fmt.Printf("%-5s %-6s %-6s %12s %10s %14s\n",
+		"iter", "procs", "topo", "iter time(s)", "ΔT(s)", "redistrib.(s)")
+	prev := 0.0
+	for _, r := range iters {
+		delta := 0.0
+		if prev != 0 {
+			delta = prev - r.IterTime
+		}
+		fmt.Printf("%-5d %-6d %-6s %12.2f %10.2f %14.2f\n",
+			r.Iter, r.Procs, r.Topo, r.IterTime, delta, r.RedistSec)
+		prev = r.IterTime
+	}
+
+	fmt.Println("\npaper (Figure 3(a)): 2 -> 4 -> 6 -> 9 -> 12 -> 16 -> back to 12, held;")
+	fmt.Println("the ΔT of the 12->16 row is negative, so the Remap Scheduler resizes back.")
+}

@@ -1,0 +1,79 @@
+// Package apps implements the paper's five workload applications (Table 1)
+// on top of the resizing library: LU factorization (the PDGETRF analogue),
+// SUMMA matrix-matrix multiplication (PDGEMM), a dense iterative Jacobi
+// solver, a 2-D FFT image transform, and a synthetic master-worker
+// application with fixed-time work units. All are resizable: they register
+// their global arrays with the resize session and call Resize at the end of
+// every outer iteration.
+package apps
+
+import (
+	"repro/internal/blockcyclic"
+)
+
+// getBlock copies global block (bi, bj) out of a rank's local storage.
+// The caller must own the block.
+func getBlock(l blockcyclic.Layout, local []float64, myCol, bi, bj int) []float64 {
+	h := l.BlockHeight(bi)
+	w := l.BlockWidth(bj)
+	stride := l.LocalCols(myCol)
+	li0 := (bi / l.Grid.Rows) * l.MB
+	lj0 := (bj / l.Grid.Cols) * l.NB
+	out := make([]float64, h*w)
+	for ii := 0; ii < h; ii++ {
+		copy(out[ii*w:(ii+1)*w], local[(li0+ii)*stride+lj0:(li0+ii)*stride+lj0+w])
+	}
+	return out
+}
+
+// setBlock writes a contiguous block back into local storage.
+func setBlock(l blockcyclic.Layout, local []float64, myCol, bi, bj int, blk []float64) {
+	h := l.BlockHeight(bi)
+	w := l.BlockWidth(bj)
+	stride := l.LocalCols(myCol)
+	li0 := (bi / l.Grid.Rows) * l.MB
+	lj0 := (bj / l.Grid.Cols) * l.NB
+	for ii := 0; ii < h; ii++ {
+		copy(local[(li0+ii)*stride+lj0:(li0+ii)*stride+lj0+w], blk[ii*w:(ii+1)*w])
+	}
+}
+
+// localBlockRows lists the global block-row indices owned by grid row
+// myRow, optionally restricted to indices strictly greater than after.
+func localBlockRows(l blockcyclic.Layout, myRow, after int) []int {
+	var out []int
+	for bi := myRow; bi < l.BlockRows(); bi += l.Grid.Rows {
+		if bi > after {
+			out = append(out, bi)
+		}
+	}
+	return out
+}
+
+// localBlockCols lists the global block-column indices owned by grid column
+// myCol, optionally restricted to indices strictly greater than after.
+func localBlockCols(l blockcyclic.Layout, myCol, after int) []int {
+	var out []int
+	for bj := myCol; bj < l.BlockCols(); bj += l.Grid.Cols {
+		if bj > after {
+			out = append(out, bj)
+		}
+	}
+	return out
+}
+
+// panel is a broadcast bundle of blocks keyed by global block index.
+type panel struct {
+	Idx    []int
+	Blocks [][]float64
+}
+
+// find returns the block with global index i, or nil.
+func (p panel) find(i int) []float64 {
+	for k, idx := range p.Idx {
+		if idx == i {
+			return p.Blocks[k]
+		}
+	}
+	return nil
+}

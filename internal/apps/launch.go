@@ -1,0 +1,31 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+	"repro/internal/mpi"
+	"repro/internal/resize"
+)
+
+// Launch runs one application job on a fresh set of ranks (its own world),
+// wired to the given scheduler client — the body of the paper's Job Startup
+// component. It blocks until the job finishes (including any ranks spawned
+// by expansions) and returns the joined error of all ranks.
+func Launch(client resize.Client, jobID int, topo grid.Topology, cfg Config) error {
+	runner, err := Build(cfg)
+	if err != nil {
+		return err
+	}
+	world := mpi.NewWorld()
+	return world.Run(topo.Count(), func(c *mpi.Comm) error {
+		sess, err := resize.NewSession(client, jobID, c, topo, runner.Worker)
+		if err != nil {
+			return fmt.Errorf("apps: session for job %d: %w", jobID, err)
+		}
+		if err := runner.Setup(sess); err != nil {
+			return fmt.Errorf("apps: setup for job %d: %w", jobID, err)
+		}
+		return runner.Worker(sess)
+	})
+}

@@ -1,0 +1,305 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/resize"
+)
+
+// Config describes one application instance, mirroring the paper's Table 1
+// workloads.
+type Config struct {
+	App        string // "lu", "mm", "jacobi", "fft", "mw"
+	N          int    // problem size (matrix dimension / FFT size)
+	NB         int    // block size (square for 2-D apps; row block for 1-D)
+	Iterations int    // outer iterations per job (10 in the paper)
+
+	// Jacobi: inner sweeps per outer iteration.
+	Sweeps int
+	// Master-worker: work units per outer iteration, chunking, unit cost.
+	MWUnits    int
+	MWChunk    int
+	MWUnitWork int
+}
+
+// Runner bundles an application's one-time setup (run by the initial ranks)
+// with the worker loop run by every rank, including ranks spawned during
+// later expansions.
+type Runner struct {
+	// Setup registers and fills the global arrays. Collective over the
+	// initial communicator.
+	Setup func(s *resize.Session) error
+	// Worker is the iterate/resize loop.
+	Worker resize.Worker
+}
+
+// Build constructs the Runner for a configuration.
+func Build(cfg Config) (*Runner, error) {
+	switch cfg.App {
+	case "lu":
+		return buildLU(cfg), nil
+	case "mm":
+		return buildMM(cfg), nil
+	case "jacobi":
+		return buildJacobi(cfg), nil
+	case "fft":
+		return buildFFT(cfg), nil
+	case "mw":
+		return buildMW(cfg), nil
+	case "cg":
+		return buildCG(cfg), nil
+	default:
+		return nil, fmt.Errorf("apps: unknown application %q", cfg.App)
+	}
+}
+
+// buildCG constructs the resizable conjugate-gradient application: a 2-D
+// distributed SPD matrix with replicated b and x, running cfg.Sweeps CG
+// steps per outer iteration. It extends the paper's workload set with a
+// Krylov solver, per the future-work direction of supporting a wider array
+// of distributed data structures.
+func buildCG(cfg Config) *Runner {
+	steps := cfg.Sweeps
+	if steps <= 0 {
+		steps = 4
+	}
+	iterate := func(s *resize.Session) error {
+		a, ok := s.Array("A")
+		if !ok {
+			return fmt.Errorf("apps: cg: array A missing")
+		}
+		b := s.Replicated("b")
+		x := s.Replicated("x")
+		if b == nil || x == nil {
+			return fmt.Errorf("apps: cg: replicated vectors missing")
+		}
+		res, err := DistCG(s.Ctx(), a.LayoutFor(s.Topo()), a.Data, b, x, steps)
+		if err != nil {
+			return err
+		}
+		s.SetReplicated("residual", []float64{res})
+		return nil
+	}
+	return &Runner{
+		Setup: func(s *resize.Session) error {
+			a := &resize.Array{Name: "A", M: cfg.N, N: cfg.N, MB: cfg.NB, NB: cfg.NB}
+			s.RegisterArray(a)
+			// SPD: symmetric off-diagonal decay with dominant diagonal.
+			fillArray(s, a, func(i, j int) float64 {
+				v := 1.0 / (1.0 + math.Abs(float64(i-j)))
+				if i == j {
+					v += float64(cfg.N)
+				}
+				return v
+			})
+			b := make([]float64, cfg.N)
+			for i := range b {
+				b[i] = 1 + float64(i%3)
+			}
+			s.SetReplicated("b", b)
+			s.SetReplicated("x", make([]float64, cfg.N))
+			return nil
+		},
+		Worker: loopWorker(cfg.Iterations, iterate),
+	}
+}
+
+// loopWorker is the canonical outer loop of a ReSHAPE application: iterate,
+// log, contact the scheduler at the resize point, and either continue
+// (possibly on a different processor set) or retire.
+func loopWorker(iterations int, iterate func(*resize.Session) error) resize.Worker {
+	return func(s *resize.Session) error {
+		for s.Iter() < iterations {
+			t0 := time.Now()
+			if err := iterate(s); err != nil {
+				return err
+			}
+			elapsed := time.Since(t0).Seconds()
+			s.Log(elapsed)
+			st, err := s.Resize(elapsed)
+			if err != nil {
+				return err
+			}
+			if st == resize.Retired {
+				return nil
+			}
+		}
+		return s.Done()
+	}
+}
+
+// fillArray populates a rank's local piece of an array from a global-index
+// function.
+func fillArray(s *resize.Session, a *resize.Array, f func(i, j int) float64) {
+	l := a.LayoutFor(s.Topo())
+	rank := s.Comm().Rank()
+	if rank >= l.Grid.Count() {
+		return
+	}
+	pr, pc := l.Coords(rank)
+	rows, cols := l.LocalRows(pr), l.LocalCols(pc)
+	a.Data = make([]float64, rows*cols)
+	for li := 0; li < rows; li++ {
+		for lj := 0; lj < cols; lj++ {
+			gi, gj := l.LocalToGlobal(pr, pc, li, lj)
+			a.Data[li*cols+lj] = f(gi, gj)
+		}
+	}
+}
+
+// luEntry is the diagonally dominant test matrix used by the LU workload.
+func luEntry(n int) func(i, j int) float64 {
+	return func(i, j int) float64 {
+		v := 1.0 / (1.0 + math.Abs(float64(i-j)))
+		if i == j {
+			v += float64(n)
+		}
+		return v
+	}
+}
+
+func buildLU(cfg Config) *Runner {
+	iterate := func(s *resize.Session) error {
+		a, ok := s.Array("A")
+		if !ok {
+			return fmt.Errorf("apps: lu: array A missing")
+		}
+		// Each outer iteration factors a fresh copy, as in the paper's "ten
+		// LU factorizations" per job.
+		work := make([]float64, len(a.Data))
+		copy(work, a.Data)
+		return DistLU(s.Ctx(), a.LayoutFor(s.Topo()), work)
+	}
+	return &Runner{
+		Setup: func(s *resize.Session) error {
+			a := &resize.Array{Name: "A", M: cfg.N, N: cfg.N, MB: cfg.NB, NB: cfg.NB}
+			s.RegisterArray(a)
+			fillArray(s, a, luEntry(cfg.N))
+			return nil
+		},
+		Worker: loopWorker(cfg.Iterations, iterate),
+	}
+}
+
+func buildMM(cfg Config) *Runner {
+	iterate := func(s *resize.Session) error {
+		a, _ := s.Array("A")
+		b, _ := s.Array("B")
+		c, _ := s.Array("C")
+		if a == nil || b == nil || c == nil {
+			return fmt.Errorf("apps: mm: arrays missing")
+		}
+		return DistMatMul(s.Ctx(), a.LayoutFor(s.Topo()), a.Data, b.Data, c.Data)
+	}
+	return &Runner{
+		Setup: func(s *resize.Session) error {
+			mk := func(name string) *resize.Array {
+				arr := &resize.Array{Name: name, M: cfg.N, N: cfg.N, MB: cfg.NB, NB: cfg.NB}
+				s.RegisterArray(arr)
+				return arr
+			}
+			a, b, c := mk("A"), mk("B"), mk("C")
+			fillArray(s, a, func(i, j int) float64 { return math.Sin(float64(i*7 + j)) })
+			fillArray(s, b, func(i, j int) float64 { return math.Cos(float64(i + j*5)) })
+			fillArray(s, c, func(i, j int) float64 { return 0 })
+			return nil
+		},
+		Worker: loopWorker(cfg.Iterations, iterate),
+	}
+}
+
+func buildJacobi(cfg Config) *Runner {
+	sweeps := cfg.Sweeps
+	if sweeps <= 0 {
+		sweeps = 3
+	}
+	iterate := func(s *resize.Session) error {
+		a, _ := s.Array("A")
+		bv, _ := s.Array("b")
+		if a == nil || bv == nil {
+			return fmt.Errorf("apps: jacobi: arrays missing")
+		}
+		x := s.Replicated("x")
+		if x == nil {
+			return fmt.Errorf("apps: jacobi: replicated x missing")
+		}
+		res, err := JacobiSweeps(s.Ctx(), a.LayoutFor(s.Topo()), a.Data, bv.Data, x, sweeps)
+		if err != nil {
+			return err
+		}
+		s.SetReplicated("residual", []float64{res})
+		return nil
+	}
+	return &Runner{
+		Setup: func(s *resize.Session) error {
+			a := &resize.Array{Name: "A", M: cfg.N, N: cfg.N, MB: cfg.NB, NB: cfg.N}
+			bv := &resize.Array{Name: "b", M: cfg.N, N: 1, MB: cfg.NB, NB: 1}
+			s.RegisterArray(a)
+			s.RegisterArray(bv)
+			fillArray(s, a, func(i, j int) float64 {
+				if i == j {
+					return float64(cfg.N)
+				}
+				return 1.0 / (1.0 + float64((i+j)%7))
+			})
+			fillArray(s, bv, func(i, j int) float64 { return 1 + float64(i%5) })
+			s.SetReplicated("x", make([]float64, cfg.N))
+			return nil
+		},
+		Worker: loopWorker(cfg.Iterations, iterate),
+	}
+}
+
+func buildFFT(cfg Config) *Runner {
+	iterate := func(s *resize.Session) error {
+		img, ok := s.Array("img")
+		if !ok {
+			return fmt.Errorf("apps: fft: array img missing")
+		}
+		l := img.LayoutFor(s.Topo())
+		// One image transformation: forward then inverse 2-D FFT.
+		if err := FFT2D(s.Ctx(), l, img.Data, false); err != nil {
+			return err
+		}
+		return FFT2D(s.Ctx(), l, img.Data, true)
+	}
+	return &Runner{
+		Setup: func(s *resize.Session) error {
+			img := &resize.Array{Name: "img", M: cfg.N, N: 2 * cfg.N, MB: cfg.NB, NB: 2 * cfg.N}
+			s.RegisterArray(img)
+			fillArray(s, img, func(i, j int) float64 {
+				if j%2 == 1 {
+					return 0 // imaginary part
+				}
+				return math.Sin(float64(i)) * math.Cos(float64(j/2))
+			})
+			return nil
+		},
+		Worker: loopWorker(cfg.Iterations, iterate),
+	}
+}
+
+func buildMW(cfg Config) *Runner {
+	units := cfg.MWUnits
+	if units <= 0 {
+		units = 1000
+	}
+	chunk := cfg.MWChunk
+	if chunk <= 0 {
+		chunk = 50
+	}
+	work := cfg.MWUnitWork
+	if work <= 0 {
+		work = 200
+	}
+	iterate := func(s *resize.Session) error {
+		MasterWorkerRound(s.Ctx(), units, chunk, work)
+		return nil
+	}
+	return &Runner{
+		Setup:  func(s *resize.Session) error { return nil },
+		Worker: loopWorker(cfg.Iterations, iterate),
+	}
+}

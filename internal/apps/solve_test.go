@@ -1,0 +1,209 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/blacs"
+	"repro/internal/blockcyclic"
+	"repro/internal/grid"
+	"repro/internal/matrix"
+	"repro/internal/mpi"
+)
+
+// solveCase factors A on the grid and solves A x = b, checking against the
+// known solution.
+func solveCase(t *testing.T, n, nb int, topo grid.Topology, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	a := diagDominantGlobal(rng, n)
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = rng.NormFloat64()
+	}
+	b := make([]float64, n)
+	matrix.Gemv(n, n, a, xTrue, b)
+
+	l := blockcyclic.Layout{M: n, N: n, MB: nb, NB: nb, Grid: topo}
+	pieces := blockcyclic.Distribute(a, l)
+	err := mpi.Run(topo.Count(), func(c *mpi.Comm) error {
+		ctx, err := blacs.New(c, topo)
+		if err != nil {
+			return err
+		}
+		local := pieces[c.Rank()].Data
+		if err := DistLU(ctx, l, local); err != nil {
+			return err
+		}
+		rhs := append([]float64{}, b...)
+		if err := DistSolveLU(ctx, l, local, rhs); err != nil {
+			return err
+		}
+		for i := range rhs {
+			if math.Abs(rhs[i]-xTrue[i]) > 1e-7 {
+				return fmt.Errorf("rank %d: x[%d] = %v, want %v", c.Rank(), i, rhs[i], xTrue[i])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("n=%d nb=%d grid=%v: %v", n, nb, topo, err)
+	}
+}
+
+func TestDistSolveLUOnVariousGrids(t *testing.T) {
+	cases := []struct {
+		n, nb int
+		topo  grid.Topology
+	}{
+		{8, 2, grid.Topology{Rows: 2, Cols: 2}},
+		{12, 2, grid.Topology{Rows: 2, Cols: 3}},
+		{12, 3, grid.Topology{Rows: 1, Cols: 2}},
+		{16, 4, grid.Topology{Rows: 1, Cols: 1}},
+		{10, 3, grid.Topology{Rows: 2, Cols: 2}}, // uneven edge blocks
+	}
+	for i, tc := range cases {
+		solveCase(t, tc.n, tc.nb, tc.topo, int64(i+1))
+	}
+}
+
+func TestDistSolveLUValidates(t *testing.T) {
+	err := mpi.Run(1, func(c *mpi.Comm) error {
+		ctx, _ := blacs.New(c, grid.Topology{Rows: 1, Cols: 1})
+		l := blockcyclic.Layout{M: 4, N: 4, MB: 2, NB: 2, Grid: ctx.Grid}
+		if DistSolveLU(ctx, l, make([]float64, 16), make([]float64, 3)) == nil {
+			return fmt.Errorf("wrong rhs length accepted")
+		}
+		bad := blockcyclic.Layout{M: 4, N: 6, MB: 2, NB: 2, Grid: ctx.Grid}
+		if DistSolveLU(ctx, bad, make([]float64, 24), make([]float64, 6)) == nil {
+			return fmt.Errorf("rectangular matrix accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistMatVecMatchesSerial(t *testing.T) {
+	const n = 10
+	topo := grid.Topology{Rows: 2, Cols: 2}
+	l := blockcyclic.Layout{M: n, N: n, MB: 3, NB: 3, Grid: topo}
+	rng := rand.New(rand.NewSource(7))
+	a := randMatGlobal(rng, n)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := make([]float64, n)
+	matrix.Gemv(n, n, a, x, want)
+
+	pieces := blockcyclic.Distribute(a, l)
+	err := mpi.Run(4, func(c *mpi.Comm) error {
+		ctx, err := blacs.New(c, topo)
+		if err != nil {
+			return err
+		}
+		got, err := DistMatVec(ctx, l, pieces[c.Rank()].Data, x)
+		if err != nil {
+			return err
+		}
+		if d := matrix.MaxAbsDiff(got, want); d > 1e-10 {
+			return fmt.Errorf("rank %d: diff %v", c.Rank(), d)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randMatGlobal(rng *rand.Rand, n int) []float64 {
+	a := make([]float64, n*n)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+	}
+	return a
+}
+
+// spdGlobal builds a symmetric positive definite matrix.
+func spdGlobal(n int) []float64 {
+	a := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a[i*n+j] = 1.0 / (1.0 + math.Abs(float64(i-j)))
+			if i == j {
+				a[i*n+j] += float64(n)
+			}
+		}
+	}
+	return a
+}
+
+func TestDistCGConverges(t *testing.T) {
+	const n = 12
+	for _, topo := range []grid.Topology{
+		{Rows: 1, Cols: 1},
+		{Rows: 2, Cols: 2},
+		{Rows: 2, Cols: 3},
+	} {
+		l := blockcyclic.Layout{M: n, N: n, MB: 2, NB: 2, Grid: topo}
+		a := spdGlobal(n)
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = float64(i%5) - 2
+		}
+		b := make([]float64, n)
+		matrix.Gemv(n, n, a, xTrue, b)
+		pieces := blockcyclic.Distribute(a, l)
+		err := mpi.Run(topo.Count(), func(c *mpi.Comm) error {
+			ctx, err := blacs.New(c, topo)
+			if err != nil {
+				return err
+			}
+			x := make([]float64, n)
+			res, err := DistCG(ctx, l, pieces[c.Rank()].Data, b, x, n+2)
+			if err != nil {
+				return err
+			}
+			if res > 1e-14 {
+				return fmt.Errorf("residual %v", res)
+			}
+			for i := range x {
+				if math.Abs(x[i]-xTrue[i]) > 1e-6 {
+					return fmt.Errorf("x[%d] = %v, want %v", i, x[i], xTrue[i])
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("grid %v: %v", topo, err)
+		}
+	}
+}
+
+func TestDistCGValidates(t *testing.T) {
+	err := mpi.Run(1, func(c *mpi.Comm) error {
+		ctx, _ := blacs.New(c, grid.Topology{Rows: 1, Cols: 1})
+		l := blockcyclic.Layout{M: 4, N: 4, MB: 2, NB: 2, Grid: ctx.Grid}
+		if _, err := DistCG(ctx, l, make([]float64, 16), make([]float64, 2), make([]float64, 4), 1); err == nil {
+			return fmt.Errorf("short rhs accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildCGRunner(t *testing.T) {
+	r, err := Build(Config{App: "cg", N: 8, NB: 2, Iterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Setup == nil || r.Worker == nil {
+		t.Fatal("incomplete runner")
+	}
+}

@@ -1,0 +1,198 @@
+// Package grid provides processor-topology math for ReSHAPE: nearly-square
+// 2-D factorizations, divisibility-constrained configuration enumeration
+// (the paper's Table 2), and the expansion rule that adds processors to the
+// smallest row or column of an existing topology (§3.1).
+package grid
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Topology is a 2-D processor grid with Rows*Cols processors. A 1-D row
+// topology has Cols == 1; a 1-D column topology has Rows == 1.
+type Topology struct {
+	Rows, Cols int
+}
+
+// Count returns the number of processors in the topology.
+func (t Topology) Count() int { return t.Rows * t.Cols }
+
+// String formats the topology as "RxC".
+func (t Topology) String() string { return fmt.Sprintf("%dx%d", t.Rows, t.Cols) }
+
+// IsValid reports whether both dimensions are positive.
+func (t Topology) IsValid() bool { return t.Rows >= 1 && t.Cols >= 1 }
+
+// Aspect returns the aspect ratio max(dim)/min(dim) as a float; 1.0 is a
+// perfect square.
+func (t Topology) Aspect() float64 {
+	if !t.IsValid() {
+		return 0
+	}
+	a, b := t.Rows, t.Cols
+	if a > b {
+		a, b = b, a
+	}
+	return float64(b) / float64(a)
+}
+
+// Normalized returns the topology with Rows <= Cols.
+func (t Topology) Normalized() Topology {
+	if t.Rows > t.Cols {
+		return Topology{t.Cols, t.Rows}
+	}
+	return t
+}
+
+// Row1D returns the 1-D topology with p processors in a single column
+// (row-distributed data).
+func Row1D(p int) Topology { return Topology{Rows: p, Cols: 1} }
+
+// NearlySquare returns the factorization r x c of p with r <= c minimizing
+// c-r (the most-square factor pair).
+func NearlySquare(p int) Topology {
+	if p <= 0 {
+		return Topology{}
+	}
+	best := Topology{1, p}
+	for r := 1; r*r <= p; r++ {
+		if p%r == 0 {
+			best = Topology{r, p / r}
+		}
+	}
+	return best
+}
+
+// Divisors returns the sorted positive divisors of n.
+func Divisors(n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	var ds []int
+	for d := 1; d*d <= n; d++ {
+		if n%d == 0 {
+			ds = append(ds, d)
+			if d != n/d {
+				ds = append(ds, n/d)
+			}
+		}
+	}
+	sort.Ints(ds)
+	return ds
+}
+
+// nextDivisor returns the smallest divisor of n strictly greater than d,
+// or 0 if none exists.
+func nextDivisor(n, d int) int {
+	for _, x := range Divisors(n) {
+		if x > d {
+			return x
+		}
+	}
+	return 0
+}
+
+// Grow applies the paper's expansion rule to a nearly-square topology whose
+// dimensions divide the problem size n: the smallest dimension is raised to
+// the next divisor of n. The result keeps Rows <= Cols. It returns the same
+// topology and false when no further growth is possible.
+func Grow(t Topology, n int) (Topology, bool) {
+	t = t.Normalized()
+	next := nextDivisor(n, t.Rows)
+	if next == 0 {
+		return t, false
+	}
+	return Topology{next, t.Cols}.Normalized(), true
+}
+
+// GrowthChain enumerates the sequence of 2-D configurations for problem size
+// n starting from the given topology, growing by the smallest-dimension rule
+// until the processor count would exceed maxProcs. The starting topology is
+// included. This reproduces the configuration chains of the paper's Table 2.
+func GrowthChain(start Topology, n, maxProcs int) []Topology {
+	chain := []Topology{start.Normalized()}
+	cur := start.Normalized()
+	for {
+		next, ok := Grow(cur, n)
+		if !ok || next.Count() > maxProcs {
+			break
+		}
+		chain = append(chain, next)
+		cur = next
+	}
+	return chain
+}
+
+// SmallestConfig returns the smallest nearly-square topology with at least
+// minProcs processors whose dimensions both divide n, or false if none
+// exists below or at maxProcs.
+func SmallestConfig(n, minProcs, maxProcs int) (Topology, bool) {
+	ds := Divisors(n)
+	best := Topology{}
+	bestCount := maxProcs + 1
+	for _, r := range ds {
+		if r > maxProcs {
+			break
+		}
+		for _, c := range ds {
+			p := r * c
+			if p < minProcs || p > maxProcs || p >= bestCount {
+				continue
+			}
+			t := Topology{r, c}.Normalized()
+			if p < bestCount || (p == bestCount && t.Aspect() < best.Aspect()) {
+				best, bestCount = t, p
+			}
+		}
+	}
+	return best, best.IsValid()
+}
+
+// Chain1D enumerates 1-D processor counts that divide n, between minProcs
+// and maxProcs, in increasing order. Used by row/column-distributed and
+// unconstrained applications.
+func Chain1D(n, minProcs, maxProcs int) []int {
+	var out []int
+	for _, d := range Divisors(n) {
+		if d >= minProcs && d <= maxProcs {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Configurations enumerates all nearly-square-preferring topologies for
+// problem size n with total processors in [minProcs, maxProcs], where each
+// dimension divides n and the aspect ratio is at most maxAspect. One
+// topology (the most square) is returned per processor count, sorted by
+// count. This generates the paper's Table 2 rows.
+func Configurations(n, minProcs, maxProcs int, maxAspect float64) []Topology {
+	ds := Divisors(n)
+	byCount := make(map[int]Topology)
+	for _, r := range ds {
+		for _, c := range ds {
+			t := Topology{r, c}.Normalized()
+			p := t.Count()
+			if p < minProcs || p > maxProcs {
+				continue
+			}
+			if t.Aspect() > maxAspect {
+				continue
+			}
+			if prev, ok := byCount[p]; !ok || t.Aspect() < prev.Aspect() {
+				byCount[p] = t
+			}
+		}
+	}
+	counts := make([]int, 0, len(byCount))
+	for p := range byCount {
+		counts = append(counts, p)
+	}
+	sort.Ints(counts)
+	out := make([]Topology, len(counts))
+	for i, p := range counts {
+		out[i] = byCount[p]
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package integration
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/grid"
+	"repro/internal/mpi"
+	"repro/internal/resize"
+	"repro/internal/scheduler"
+)
+
+// crashingWorker fails after two iterations, exercising the System
+// Monitor's job-error recovery path end to end. All ranks fail together —
+// just as an MPI job aborts as a whole when one process dies.
+func crashingWorker(s *resize.Session) error {
+	for s.Iter() < 10 {
+		if s.Iter() == 2 {
+			return fmt.Errorf("injected fault at iteration %d on rank %d", s.Iter(), s.Comm().Rank())
+		}
+		st, err := s.Resize(0.001)
+		if err != nil {
+			return err
+		}
+		if st == resize.Retired {
+			return nil
+		}
+	}
+	return s.Done()
+}
+
+func TestJobErrorRecoversProcessorsAndStartsQueue(t *testing.T) {
+	var srv *scheduler.Server
+	srv = scheduler.NewServer(4, false, func(j *scheduler.Job) {
+		switch j.Spec.Name {
+		case "crasher":
+			world := mpi.NewWorld()
+			err := world.Run(j.Topo.Count(), func(c *mpi.Comm) error {
+				sess, err := resize.NewSession(srv, j.ID, c, j.Topo, crashingWorker)
+				if err != nil {
+					return err
+				}
+				return crashingWorker(sess)
+			})
+			if err == nil {
+				t.Error("crasher should have failed")
+			}
+			// The per-node application monitor reports the failure.
+			if err := srv.JobError(j.ID); err != nil {
+				t.Errorf("job error: %v", err)
+			}
+		case "queued":
+			cfg := apps.Config{App: "fft", N: 8, NB: 2, Iterations: 2}
+			if err := apps.Launch(srv, j.ID, j.Topo, cfg); err != nil {
+				t.Errorf("queued job: %v", err)
+				_ = srv.JobError(j.ID)
+			}
+		}
+	})
+
+	crasher, err := srv.Submit(scheduler.JobSpec{
+		Name: "crasher", App: "custom", Iterations: 10,
+		InitialTopo: grid.Topology{Rows: 2, Cols: 2},
+		Chain:       []grid.Topology{{Rows: 2, Cols: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := srv.Submit(scheduler.JobSpec{
+		Name: "queued", App: "fft", ProblemSize: 8, Iterations: 2,
+		InitialTopo: grid.Row1D(2),
+		Chain:       []grid.Topology{grid.Row1D(2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		srv.Wait(crasher.ID)
+		srv.Wait(queued.ID)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("jobs did not finish after failure injection")
+	}
+
+	cj, _ := srv.Core().Job(crasher.ID)
+	if cj.State != scheduler.Done {
+		t.Errorf("crasher state %v", cj.State)
+	}
+	qj, _ := srv.Core().Job(queued.ID)
+	if qj.State != scheduler.Done {
+		t.Errorf("queued job state %v", qj.State)
+	}
+	if srv.Core().Free() != 4 {
+		t.Errorf("free = %d, want full pool back", srv.Core().Free())
+	}
+	// The trace must contain the error event.
+	sawError := false
+	for _, e := range srv.Core().Events {
+		if e.Kind == "error" && e.Job == "crasher" {
+			sawError = true
+		}
+	}
+	if !sawError {
+		t.Error("error event missing from trace")
+	}
+}
+
+func TestCGAppUnderRealScheduler(t *testing.T) {
+	cfgs := map[string]apps.Config{
+		"cg": {App: "cg", N: 12, NB: 2, Iterations: 5, Sweeps: 3},
+	}
+	srv, errs := startServer(t, 6, cfgs)
+	job, err := srv.Submit(scheduler.JobSpec{
+		Name: "cg", App: "cg", ProblemSize: 12, Iterations: 5,
+		InitialTopo: grid.Topology{Rows: 1, Cols: 2},
+		Chain:       grid.GrowthChain(grid.Topology{Rows: 1, Cols: 2}, 12, 6),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitAll(t, srv, []*scheduler.Job{job})
+	checkErrs(t, errs)
+	j, _ := srv.Core().Job(job.ID)
+	if j.State != scheduler.Done {
+		t.Fatalf("state %v", j.State)
+	}
+}

@@ -1,0 +1,209 @@
+// Package integration runs full-system tests: the real scheduler Server,
+// real applications on goroutine ranks, real spawn-based expansion, real
+// shrink-based retirement and real data redistribution — the entire ReSHAPE
+// stack end to end at miniature scale.
+package integration
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/grid"
+	"repro/internal/scheduler"
+)
+
+func topo(r, c int) grid.Topology { return grid.Topology{Rows: r, Cols: c} }
+
+// startServer builds a Server whose JobStarter launches real applications.
+// cfgs maps job names to app configs.
+func startServer(t *testing.T, total int, cfgs map[string]apps.Config) (*scheduler.Server, *sync.Map) {
+	t.Helper()
+	var errs sync.Map
+	var srv *scheduler.Server
+	srv = scheduler.NewServer(total, true, func(j *scheduler.Job) {
+		cfg, ok := cfgs[j.Spec.Name]
+		if !ok {
+			errs.Store(j.Spec.Name, fmt.Errorf("no config for %q", j.Spec.Name))
+			return
+		}
+		if err := apps.Launch(srv, j.ID, j.Topo, cfg); err != nil {
+			errs.Store(j.Spec.Name, err)
+			// Make sure the scheduler does not wait forever on a crashed job.
+			_ = srv.JobEnd(j.ID)
+		}
+	})
+	return srv, &errs
+}
+
+func waitAll(t *testing.T, srv *scheduler.Server, jobs []*scheduler.Job) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		for _, j := range jobs {
+			srv.Wait(j.ID)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("jobs did not complete in time")
+	}
+}
+
+func checkErrs(t *testing.T, errs *sync.Map) {
+	t.Helper()
+	errs.Range(func(k, v any) bool {
+		t.Errorf("job %v failed: %v", k, v)
+		return true
+	})
+}
+
+func TestSoloLUJobExpandsOnIdleCluster(t *testing.T) {
+	n := 12
+	cfgs := map[string]apps.Config{
+		"lu": {App: "lu", N: n, NB: 2, Iterations: 6},
+	}
+	srv, errs := startServer(t, 6, cfgs)
+	job, err := srv.Submit(scheduler.JobSpec{
+		Name: "lu", App: "lu", ProblemSize: n, Iterations: 6,
+		InitialTopo: topo(1, 2),
+		Chain:       grid.GrowthChain(topo(1, 2), n, 6),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitAll(t, srv, []*scheduler.Job{job})
+	checkErrs(t, errs)
+
+	core := srv.Core()
+	if core.Free() != 6 {
+		t.Errorf("free = %d after completion", core.Free())
+	}
+	j, _ := core.Job(job.ID)
+	if j.State != scheduler.Done {
+		t.Errorf("job state %v", j.State)
+	}
+	// On an idle cluster the job must have probed at least one expansion.
+	expanded := false
+	for _, e := range core.Events {
+		if e.Kind == "expand" {
+			expanded = true
+		}
+	}
+	if !expanded {
+		t.Error("job never expanded despite idle processors")
+	}
+	// The profiler must hold iteration records for every visited config.
+	if len(j.Profile.Visits) == 0 {
+		t.Error("profiler recorded nothing")
+	}
+}
+
+func TestTwoJobsShareClusterWithShrink(t *testing.T) {
+	cfgs := map[string]apps.Config{
+		"first":  {App: "jacobi", N: 12, NB: 2, Iterations: 8, Sweeps: 2},
+		"second": {App: "fft", N: 8, NB: 2, Iterations: 3},
+	}
+	srv, errs := startServer(t, 6, cfgs)
+	first, err := srv.Submit(scheduler.JobSpec{
+		Name: "first", App: "jacobi", ProblemSize: 12, Iterations: 8,
+		InitialTopo: grid.Row1D(2),
+		Chain:       []grid.Topology{grid.Row1D(2), grid.Row1D(4), grid.Row1D(6)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Give the first job a head start so it can expand.
+	time.Sleep(50 * time.Millisecond)
+	second, err := srv.Submit(scheduler.JobSpec{
+		Name: "second", App: "fft", ProblemSize: 8, Iterations: 3,
+		InitialTopo: grid.Row1D(2),
+		Chain:       []grid.Topology{grid.Row1D(2), grid.Row1D(4)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitAll(t, srv, []*scheduler.Job{first, second})
+	checkErrs(t, errs)
+	if srv.Core().Free() != 6 {
+		t.Errorf("free = %d after completion", srv.Core().Free())
+	}
+	for _, j := range srv.Core().Jobs() {
+		if j.State != scheduler.Done {
+			t.Errorf("job %s state %v", j.Spec.Name, j.State)
+		}
+	}
+}
+
+func TestFiveAppWorkloadMiniature(t *testing.T) {
+	// The paper's five applications sharing one small cluster, all real.
+	cfgs := map[string]apps.Config{
+		"LU":     {App: "lu", N: 12, NB: 2, Iterations: 3},
+		"MM":     {App: "mm", N: 8, NB: 2, Iterations: 3},
+		"MW":     {App: "mw", Iterations: 3, MWUnits: 40, MWChunk: 5, MWUnitWork: 50},
+		"Jacobi": {App: "jacobi", N: 12, NB: 2, Iterations: 3, Sweeps: 2},
+		"FFT":    {App: "fft", N: 8, NB: 2, Iterations: 3},
+	}
+	srv, errs := startServer(t, 10, cfgs)
+	var jobs []*scheduler.Job
+	submit := func(name, app string, n int, initial grid.Topology, chain []grid.Topology) {
+		j, err := srv.Submit(scheduler.JobSpec{
+			Name: name, App: app, ProblemSize: n, Iterations: 3,
+			InitialTopo: initial, Chain: chain,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	submit("LU", "lu", 12, topo(1, 2), grid.GrowthChain(topo(1, 2), 12, 6))
+	submit("MM", "mm", 8, topo(2, 2), grid.GrowthChain(topo(2, 2), 8, 8))
+	submit("MW", "mw", 0, grid.Row1D(2), []grid.Topology{grid.Row1D(2), grid.Row1D(3), grid.Row1D(4)})
+	submit("Jacobi", "jacobi", 12, grid.Row1D(2), []grid.Topology{grid.Row1D(2), grid.Row1D(3), grid.Row1D(4)})
+	submit("FFT", "fft", 8, grid.Row1D(2), []grid.Topology{grid.Row1D(2), grid.Row1D(4)})
+	waitAll(t, srv, jobs)
+	checkErrs(t, errs)
+	if srv.Core().Free() != 10 {
+		t.Errorf("free = %d after all jobs", srv.Core().Free())
+	}
+}
+
+func TestQueuedJobEventuallyRuns(t *testing.T) {
+	cfgs := map[string]apps.Config{
+		"big":    {App: "lu", N: 8, NB: 2, Iterations: 4},
+		"queued": {App: "fft", N: 8, NB: 2, Iterations: 2},
+	}
+	srv, errs := startServer(t, 4, cfgs)
+	big, err := srv.Submit(scheduler.JobSpec{
+		Name: "big", App: "lu", ProblemSize: 8, Iterations: 4,
+		InitialTopo: topo(2, 2),
+		Chain:       []grid.Topology{topo(2, 2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := srv.Submit(scheduler.JobSpec{
+		Name: "queued", App: "fft", ProblemSize: 8, Iterations: 2,
+		InitialTopo: grid.Row1D(2),
+		Chain:       []grid.Topology{grid.Row1D(2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, _ := srv.Core().Job(queued.ID)
+	_ = j
+	waitAll(t, srv, []*scheduler.Job{big, queued})
+	checkErrs(t, errs)
+	qj, _ := srv.Core().Job(queued.ID)
+	bj, _ := srv.Core().Job(big.ID)
+	if qj.StartTime < bj.SubmitTime {
+		t.Error("queued job started before big job submitted")
+	}
+	if qj.State != scheduler.Done {
+		t.Errorf("queued job state %v", qj.State)
+	}
+}

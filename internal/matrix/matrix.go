@@ -1,0 +1,224 @@
+// Package matrix provides the local dense kernels underneath the
+// distributed applications: GEMM, unpivoted LU, triangular solves, matrix-
+// vector products, transposes and a radix-2 complex FFT. All matrices are
+// dense row-major float64 slices with an explicit column count.
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Gemm computes C += A * B for row-major matrices: A is m x k, B is k x n,
+// C is m x n. The loop order (i, l, j) streams B and C rows for locality.
+func Gemm(m, k, n int, a, b, c []float64) {
+	for i := 0; i < m; i++ {
+		ai := a[i*k : (i+1)*k]
+		ci := c[i*n : (i+1)*n]
+		for l := 0; l < k; l++ {
+			ail := ai[l]
+			if ail == 0 {
+				continue
+			}
+			bl := b[l*n : (l+1)*n]
+			for j := 0; j < n; j++ {
+				ci[j] += ail * bl[j]
+			}
+		}
+	}
+}
+
+// GemmSub computes C -= A * B, the trailing-update form used by LU.
+func GemmSub(m, k, n int, a, b, c []float64) {
+	for i := 0; i < m; i++ {
+		ai := a[i*k : (i+1)*k]
+		ci := c[i*n : (i+1)*n]
+		for l := 0; l < k; l++ {
+			ail := ai[l]
+			if ail == 0 {
+				continue
+			}
+			bl := b[l*n : (l+1)*n]
+			for j := 0; j < n; j++ {
+				ci[j] -= ail * bl[j]
+			}
+		}
+	}
+}
+
+// Gemv computes y += A * x for a row-major m x n matrix.
+func Gemv(m, n int, a, x, y []float64) {
+	for i := 0; i < m; i++ {
+		ai := a[i*n : (i+1)*n]
+		s := 0.0
+		for j := 0; j < n; j++ {
+			s += ai[j] * x[j]
+		}
+		y[i] += s
+	}
+}
+
+// LUFactor performs an in-place unpivoted LU factorization of the n x n
+// row-major matrix a: afterwards the strict lower triangle holds L (unit
+// diagonal implied) and the upper triangle holds U. It returns an error on a
+// zero pivot; callers supply diagonally dominant matrices.
+func LUFactor(n int, a []float64) error {
+	for k := 0; k < n; k++ {
+		pivot := a[k*n+k]
+		if pivot == 0 {
+			return fmt.Errorf("matrix: zero pivot at %d", k)
+		}
+		inv := 1 / pivot
+		for i := k + 1; i < n; i++ {
+			a[i*n+k] *= inv
+			lik := a[i*n+k]
+			if lik == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				a[i*n+j] -= lik * a[k*n+j]
+			}
+		}
+	}
+	return nil
+}
+
+// TrsmLowerRight solves X * L^T ... no: TrsmRightUpper computes
+// B := B * U^{-1} where U is the n x n upper triangle of lu (from LUFactor)
+// and B is m x n row-major. This forms the L panel blocks in distributed LU:
+// L_ik = A_ik U_kk^{-1}.
+func TrsmRightUpper(m, n int, lu, b []float64) {
+	for i := 0; i < m; i++ {
+		bi := b[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			s := bi[j]
+			for l := 0; l < j; l++ {
+				s -= bi[l] * lu[l*n+j]
+			}
+			bi[j] = s / lu[j*n+j]
+		}
+	}
+}
+
+// TrsmLeftLowerUnit computes B := L^{-1} * B where L is the unit lower
+// triangle of the n x n factored block lu and B is n x m row-major. This
+// forms the U panel blocks in distributed LU: U_kj = L_kk^{-1} A_kj.
+func TrsmLeftLowerUnit(n, m int, lu, b []float64) {
+	for i := 0; i < n; i++ {
+		for l := 0; l < i; l++ {
+			lil := lu[i*n+l]
+			if lil == 0 {
+				continue
+			}
+			for j := 0; j < m; j++ {
+				b[i*m+j] -= lil * b[l*m+j]
+			}
+		}
+	}
+}
+
+// MulLU recomposes L*U from a factored matrix (LUFactor output) into out,
+// used to verify factorizations.
+func MulLU(n int, lu, out []float64) {
+	for i := range out {
+		out[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			kmax := i
+			if j < i {
+				kmax = j
+			}
+			for k := 0; k <= kmax; k++ {
+				var lik float64
+				if k == i {
+					lik = 1
+				} else {
+					lik = lu[i*n+k]
+				}
+				s += lik * lu[k*n+j]
+			}
+			out[i*n+j] = s
+		}
+	}
+}
+
+// Transpose writes the transpose of the m x n row-major matrix a into the
+// n x m matrix out.
+func Transpose(m, n int, a, out []float64) {
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out[j*m+i] = a[i*n+j]
+		}
+	}
+}
+
+// MaxAbsDiff returns max_i |a[i]-b[i]|; the slices must have equal length.
+func MaxAbsDiff(a, b []float64) float64 {
+	max := 0.0
+	for i := range a {
+		d := math.Abs(a[i] - b[i])
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// FrobeniusNorm returns the Frobenius norm of a.
+func FrobeniusNorm(a []float64) float64 {
+	s := 0.0
+	for _, v := range a {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// FFT performs an in-place radix-2 decimation-in-time FFT of x. The length
+// must be a power of two. inverse selects the inverse transform (including
+// the 1/n scaling).
+func FFT(x []complex128, inverse bool) error {
+	n := len(x)
+	if n == 0 || n&(n-1) != 0 {
+		return fmt.Errorf("matrix: FFT length %d is not a power of two", n)
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := sign * 2 * math.Pi / float64(length)
+		wl := cmplx.Exp(complex(0, ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			half := length / 2
+			for j := 0; j < half; j++ {
+				u := x[i+j]
+				v := x[i+j+half] * w
+				x[i+j] = u + v
+				x[i+j+half] = u - v
+				w *= wl
+			}
+		}
+	}
+	if inverse {
+		inv := complex(1/float64(n), 0)
+		for i := range x {
+			x[i] *= inv
+		}
+	}
+	return nil
+}

@@ -1,0 +1,281 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randMat(rng *rand.Rand, m, n int) []float64 {
+	a := make([]float64, m*n)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+	}
+	return a
+}
+
+// naiveGemm is the reference O(mnk) triple loop in (i,j,l) order.
+func naiveGemm(m, k, n int, a, b, c []float64) {
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for l := 0; l < k; l++ {
+				s += a[i*k+l] * b[l*n+j]
+			}
+			c[i*n+j] += s
+		}
+	}
+}
+
+func TestGemmMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 4, 5}, {8, 8, 8}, {7, 2, 9}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a, b := randMat(rng, m, k), randMat(rng, k, n)
+		c1 := randMat(rng, m, n)
+		c2 := append([]float64{}, c1...)
+		Gemm(m, k, n, a, b, c1)
+		naiveGemm(m, k, n, a, b, c2)
+		if d := MaxAbsDiff(c1, c2); d > 1e-12 {
+			t.Errorf("dims %v: diff %v", dims, d)
+		}
+	}
+}
+
+func TestGemmSubInvertsGemm(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m, k, n := 5, 6, 4
+	a, b := randMat(rng, m, k), randMat(rng, k, n)
+	c := randMat(rng, m, n)
+	orig := append([]float64{}, c...)
+	Gemm(m, k, n, a, b, c)
+	GemmSub(m, k, n, a, b, c)
+	if d := MaxAbsDiff(c, orig); d > 1e-12 {
+		t.Errorf("Gemm then GemmSub drifted by %v", d)
+	}
+}
+
+func TestGemv(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5, 6} // 2x3
+	x := []float64{1, 1, 1}
+	y := []float64{10, 20}
+	Gemv(2, 3, a, x, y)
+	if y[0] != 16 || y[1] != 35 {
+		t.Errorf("Gemv got %v", y)
+	}
+}
+
+// diagDominant makes a random diagonally dominant matrix (guaranteed
+// unpivoted-LU-factorable).
+func diagDominant(rng *rand.Rand, n int) []float64 {
+	a := randMat(rng, n, n)
+	for i := 0; i < n; i++ {
+		s := 0.0
+		for j := 0; j < n; j++ {
+			s += math.Abs(a[i*n+j])
+		}
+		a[i*n+i] = s + 1
+	}
+	return a
+}
+
+func TestLUFactorReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 5, 16, 33} {
+		a := diagDominant(rng, n)
+		orig := append([]float64{}, a...)
+		if err := LUFactor(n, a); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		recon := make([]float64, n*n)
+		MulLU(n, a, recon)
+		if d := MaxAbsDiff(recon, orig); d > 1e-8*float64(n) {
+			t.Errorf("n=%d: reconstruction error %v", n, d)
+		}
+	}
+}
+
+func TestLUFactorZeroPivot(t *testing.T) {
+	a := []float64{0, 1, 1, 0}
+	if err := LUFactor(2, a); err == nil {
+		t.Error("zero pivot not detected")
+	}
+}
+
+func TestLUFactorProperty(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN%12) + 1
+		rng := rand.New(rand.NewSource(seed))
+		a := diagDominant(rng, n)
+		orig := append([]float64{}, a...)
+		if err := LUFactor(n, a); err != nil {
+			return false
+		}
+		recon := make([]float64, n*n)
+		MulLU(n, a, recon)
+		return MaxAbsDiff(recon, orig) < 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrsmRightUpper(t *testing.T) {
+	// Solve B_new * U = B for random U (upper of factored diag block).
+	rng := rand.New(rand.NewSource(4))
+	n, m := 4, 3
+	lu := diagDominant(rng, n)
+	if err := LUFactor(n, lu); err != nil {
+		t.Fatal(err)
+	}
+	b := randMat(rng, m, n)
+	orig := append([]float64{}, b...)
+	TrsmRightUpper(m, n, lu, b)
+	// b * U must equal orig; extract U from lu.
+	u := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			u[i*n+j] = lu[i*n+j]
+		}
+	}
+	check := make([]float64, m*n)
+	Gemm(m, n, n, b, u, check)
+	if d := MaxAbsDiff(check, orig); d > 1e-9 {
+		t.Errorf("TrsmRightUpper residual %v", d)
+	}
+}
+
+func TestTrsmLeftLowerUnit(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n, m := 4, 5
+	lu := diagDominant(rng, n)
+	if err := LUFactor(n, lu); err != nil {
+		t.Fatal(err)
+	}
+	b := randMat(rng, n, m)
+	orig := append([]float64{}, b...)
+	TrsmLeftLowerUnit(n, m, lu, b)
+	// L * b must equal orig; extract unit-lower L.
+	l := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		l[i*n+i] = 1
+		for j := 0; j < i; j++ {
+			l[i*n+j] = lu[i*n+j]
+		}
+	}
+	check := make([]float64, n*m)
+	Gemm(n, n, m, l, b, check)
+	if d := MaxAbsDiff(check, orig); d > 1e-9 {
+		t.Errorf("TrsmLeftLowerUnit residual %v", d)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5, 6} // 2x3
+	out := make([]float64, 6)
+	Transpose(2, 3, a, out)
+	want := []float64{1, 4, 2, 5, 3, 6}
+	if d := MaxAbsDiff(out, want); d != 0 {
+		t.Errorf("transpose got %v", out)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64, rawM, rawN uint8) bool {
+		m := int(rawM%10) + 1
+		n := int(rawN%10) + 1
+		rng := rand.New(rand.NewSource(seed))
+		a := randMat(rng, m, n)
+		tmp := make([]float64, n*m)
+		back := make([]float64, m*n)
+		Transpose(m, n, a, tmp)
+		Transpose(n, m, tmp, back)
+		return MaxAbsDiff(a, back) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFFTKnownTransform(t *testing.T) {
+	// FFT of a constant signal is an impulse at bin 0.
+	x := make([]complex128, 8)
+	for i := range x {
+		x[i] = 1
+	}
+	if err := FFT(x, false); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(real(x[0])-8) > 1e-12 {
+		t.Errorf("bin 0 = %v", x[0])
+	}
+	for i := 1; i < 8; i++ {
+		if math.Abs(real(x[i])) > 1e-12 || math.Abs(imag(x[i])) > 1e-12 {
+			t.Errorf("bin %d = %v", i, x[i])
+		}
+	}
+}
+
+func TestFFTSingleTone(t *testing.T) {
+	const n = 16
+	x := make([]complex128, n)
+	for i := range x {
+		ang := 2 * math.Pi * 3 * float64(i) / n
+		x[i] = complex(math.Cos(ang), math.Sin(ang))
+	}
+	if err := FFT(x, false); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		want := 0.0
+		if i == 3 {
+			want = n
+		}
+		if math.Abs(real(x[i])-want) > 1e-9 || math.Abs(imag(x[i])) > 1e-9 {
+			t.Errorf("bin %d = %v", i, x[i])
+		}
+	}
+}
+
+func TestFFTRoundTripProperty(t *testing.T) {
+	f := func(seed int64, rawLog uint8) bool {
+		n := 1 << (rawLog%8 + 1)
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]complex128, n)
+		orig := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			orig[i] = x[i]
+		}
+		if FFT(x, false) != nil || FFT(x, true) != nil {
+			return false
+		}
+		for i := range x {
+			if cmag(x[i]-orig[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func cmag(c complex128) float64 { return math.Hypot(real(c), imag(c)) }
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	if err := FFT(make([]complex128, 12), false); err == nil {
+		t.Error("length 12 accepted")
+	}
+	if err := FFT(nil, false); err == nil {
+		t.Error("empty accepted")
+	}
+}
+
+func TestFrobeniusNorm(t *testing.T) {
+	if got := FrobeniusNorm([]float64{3, 4}); got != 5 {
+		t.Errorf("norm = %v", got)
+	}
+}

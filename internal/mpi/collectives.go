@@ -1,0 +1,261 @@
+package mpi
+
+import "fmt"
+
+// Collectives receive from explicit source ranks rather than AnySource so
+// that back-to-back collective calls on the same communicator cannot
+// cross-match messages from ranks that have already raced ahead into the
+// next call. Per-(sender,receiver,tag,context) FIFO order then guarantees
+// correctness.
+
+// Barrier blocks until every rank in the communicator has entered it.
+func (c *Comm) Barrier() {
+	if c.rank == 0 {
+		for r := 1; r < c.Size(); r++ {
+			c.Recv(r, tagBarrierIn)
+		}
+		for r := 1; r < c.Size(); r++ {
+			c.Send(r, tagBarrierOut, struct{}{})
+		}
+	} else {
+		c.Send(0, tagBarrierIn, struct{}{})
+		c.Recv(0, tagBarrierOut)
+	}
+}
+
+// Bcast broadcasts v from root to every rank via a binomial tree and returns
+// the received value on every rank (on root it returns v unchanged). The
+// value is shared by reference; receivers must not mutate it.
+func (c *Comm) Bcast(root int, v any) any {
+	n := c.Size()
+	if n == 1 {
+		return v
+	}
+	me := (c.rank - root + n) % n // rank in root-shifted space
+	mask := 1
+	for mask < n {
+		if me&mask != 0 {
+			parent := (me - mask + root) % n
+			got, _, _ := c.Recv(parent, tagBcast)
+			v = got
+			break
+		}
+		mask <<= 1
+	}
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if me+mask < n {
+			child := (me + mask + root) % n
+			c.Send(child, tagBcast, v)
+		}
+	}
+	return v
+}
+
+// BcastFloats broadcasts a float64 slice from root. Every rank — including
+// the root — may freely mutate the returned slice afterwards: the root
+// injects a private copy into the broadcast tree and each receiver copies
+// out of it.
+func (c *Comm) BcastFloats(root int, xs []float64) []float64 {
+	var payload []float64
+	if c.rank == root {
+		payload = make([]float64, len(xs))
+		copy(payload, xs)
+	}
+	v := c.Bcast(root, payload)
+	if c.rank == root {
+		return xs
+	}
+	got := v.([]float64)
+	cp := make([]float64, len(got))
+	copy(cp, got)
+	return cp
+}
+
+// BcastInt broadcasts a single int from root.
+func (c *Comm) BcastInt(root, x int) int {
+	return c.Bcast(root, x).(int)
+}
+
+// ReduceOp combines two equal-length float64 slices element-wise into dst.
+type ReduceOp func(dst, src []float64)
+
+// SumOp adds src into dst element-wise.
+func SumOp(dst, src []float64) {
+	for i := range dst {
+		dst[i] += src[i]
+	}
+}
+
+// MaxOp keeps the element-wise maximum in dst.
+func MaxOp(dst, src []float64) {
+	for i := range dst {
+		if src[i] > dst[i] {
+			dst[i] = src[i]
+		}
+	}
+}
+
+// MinOp keeps the element-wise minimum in dst.
+func MinOp(dst, src []float64) {
+	for i := range dst {
+		if src[i] < dst[i] {
+			dst[i] = src[i]
+		}
+	}
+}
+
+// Reduce combines xs across ranks with op; the combined slice is returned on
+// root and nil elsewhere. xs is not mutated.
+func (c *Comm) Reduce(root int, xs []float64, op ReduceOp) []float64 {
+	if c.rank != root {
+		c.SendFloats(root, tagReduce, xs)
+		return nil
+	}
+	acc := make([]float64, len(xs))
+	copy(acc, xs)
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			continue
+		}
+		got := c.RecvFloats(r, tagReduce)
+		if len(got) != len(acc) {
+			panic(fmt.Sprintf("mpi: Reduce length mismatch %d vs %d", len(got), len(acc)))
+		}
+		op(acc, got)
+	}
+	return acc
+}
+
+// Allreduce combines xs across all ranks with op and returns the combined
+// slice on every rank.
+func (c *Comm) Allreduce(xs []float64, op ReduceOp) []float64 {
+	acc := c.Reduce(0, xs, op)
+	return c.BcastFloats(0, acc)
+}
+
+// AllreduceSum is Allreduce with SumOp on a single scalar.
+func (c *Comm) AllreduceSum(x float64) float64 {
+	return c.Allreduce([]float64{x}, SumOp)[0]
+}
+
+// AllreduceMax is Allreduce with MaxOp on a single scalar.
+func (c *Comm) AllreduceMax(x float64) float64 {
+	return c.Allreduce([]float64{x}, MaxOp)[0]
+}
+
+// Gather collects one value per rank at root; the result on root is indexed
+// by rank, and nil elsewhere.
+func (c *Comm) Gather(root int, v any) []any {
+	if c.rank != root {
+		c.Send(root, tagGather, v)
+		return nil
+	}
+	out := make([]any, c.Size())
+	out[c.rank] = v
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			continue
+		}
+		got, _, _ := c.Recv(r, tagGather)
+		out[r] = got
+	}
+	return out
+}
+
+// GatherFloats collects a float64 slice per rank at root, indexed by rank.
+func (c *Comm) GatherFloats(root int, xs []float64) [][]float64 {
+	if c.rank != root {
+		c.SendFloats(root, tagGather, xs)
+		return nil
+	}
+	out := make([][]float64, c.Size())
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	out[c.rank] = cp
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			continue
+		}
+		got, _, _ := c.Recv(r, tagGather)
+		out[r] = got.([]float64)
+	}
+	return out
+}
+
+// Allgather collects one value per rank and distributes the full slice to
+// every rank, indexed by rank.
+func (c *Comm) Allgather(v any) []any {
+	all := c.Gather(0, v)
+	res := c.Bcast(0, all)
+	return res.([]any)
+}
+
+// AllgatherFloats collects a float64 slice per rank on every rank.
+func (c *Comm) AllgatherFloats(xs []float64) [][]float64 {
+	all := c.GatherFloats(0, xs)
+	res := c.Bcast(0, all)
+	return res.([][]float64)
+}
+
+// Scatter distributes vs[i] to rank i from root and returns the local value.
+// vs is only read on root and must have length Size().
+func (c *Comm) Scatter(root int, vs []any) any {
+	if c.rank == root {
+		if len(vs) != c.Size() {
+			panic(fmt.Sprintf("mpi: Scatter needs %d values, got %d", c.Size(), len(vs)))
+		}
+		for r := 0; r < c.Size(); r++ {
+			if r != root {
+				c.Send(r, tagScatter, vs[r])
+			}
+		}
+		return vs[root]
+	}
+	v, _, _ := c.Recv(root, tagScatter)
+	return v
+}
+
+// ScatterFloats distributes one float64 slice per rank from root; each rank
+// receives a private copy.
+func (c *Comm) ScatterFloats(root int, vs [][]float64) []float64 {
+	var v any
+	if c.rank == root {
+		anyVs := make([]any, len(vs))
+		for i := range vs {
+			anyVs[i] = vs[i]
+		}
+		v = c.Scatter(root, anyVs)
+	} else {
+		v = c.Scatter(root, nil)
+	}
+	src := v.([]float64)
+	cp := make([]float64, len(src))
+	copy(cp, src)
+	return cp
+}
+
+// Alltoallv sends sendbufs[r] to rank r and returns the slice received from
+// each rank, indexed by source rank. Empty or nil buffers are allowed.
+func (c *Comm) Alltoallv(sendbufs [][]float64) [][]float64 {
+	if len(sendbufs) != c.Size() {
+		panic(fmt.Sprintf("mpi: Alltoallv needs %d buffers, got %d", c.Size(), len(sendbufs)))
+	}
+	for r := 0; r < c.Size(); r++ {
+		if r == c.rank {
+			continue
+		}
+		c.SendFloats(r, tagAlltoall, sendbufs[r])
+	}
+	out := make([][]float64, c.Size())
+	own := make([]float64, len(sendbufs[c.rank]))
+	copy(own, sendbufs[c.rank])
+	out[c.rank] = own
+	for r := 0; r < c.Size(); r++ {
+		if r == c.rank {
+			continue
+		}
+		v, _, _ := c.Recv(r, tagAlltoall)
+		out[r] = v.([]float64)
+	}
+	return out
+}

@@ -1,0 +1,645 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunSingleRank(t *testing.T) {
+	ran := false
+	err := Run(1, func(c *Comm) error {
+		ran = true
+		if c.Rank() != 0 || c.Size() != 1 {
+			t.Errorf("rank/size = %d/%d, want 0/1", c.Rank(), c.Size())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("rank function never ran")
+	}
+}
+
+func TestRunRejectsZeroRanks(t *testing.T) {
+	if err := Run(0, func(c *Comm) error { return nil }); err == nil {
+		t.Fatal("Run(0) should fail")
+	}
+}
+
+func TestRunCollectsErrors(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		if c.Rank()%2 == 1 {
+			return fmt.Errorf("boom %d", c.Rank())
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected joined errors")
+	}
+}
+
+func TestSendRecvPingPong(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.SendFloats(1, 7, []float64{1, 2, 3})
+			got := c.RecvFloats(1, 8)
+			if len(got) != 3 || got[0] != 2 || got[1] != 4 || got[2] != 6 {
+				return fmt.Errorf("got %v", got)
+			}
+		} else {
+			xs := c.RecvFloats(0, 7)
+			for i := range xs {
+				xs[i] *= 2
+			}
+			c.SendFloats(0, 8, xs)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendFloatsCopies(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			buf := []float64{1, 2, 3}
+			c.SendFloats(1, 0, buf)
+			buf[0] = 99 // must not affect the receiver
+			c.Barrier()
+		} else {
+			c.Barrier()
+			got := c.RecvFloats(0, 0)
+			if got[0] != 1 {
+				return fmt.Errorf("send did not copy: got %v", got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvAnySourceAnyTag(t *testing.T) {
+	err := Run(3, func(c *Comm) error {
+		if c.Rank() == 0 {
+			seen := map[int]bool{}
+			for i := 0; i < 2; i++ {
+				_, src, tag := c.Recv(AnySource, AnyTag)
+				if tag != src*10 {
+					return fmt.Errorf("src %d carried tag %d", src, tag)
+				}
+				seen[src] = true
+			}
+			if !seen[1] || !seen[2] {
+				return fmt.Errorf("missing sources: %v", seen)
+			}
+		} else {
+			c.Send(0, c.Rank()*10, c.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessageOrderPreservedPerSender(t *testing.T) {
+	const n = 50
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				c.Send(1, 3, i)
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				v, _, _ := c.Recv(0, 3)
+				if v.(int) != i {
+					return fmt.Errorf("message %d arrived out of order as %v", i, v)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	var phase atomic.Int32
+	err := Run(8, func(c *Comm) error {
+		phase.Add(1)
+		c.Barrier()
+		if got := phase.Load(); got != 8 {
+			return fmt.Errorf("rank %d saw phase %d after barrier", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepeatedBarriers(t *testing.T) {
+	var counter atomic.Int64
+	const rounds = 20
+	err := Run(5, func(c *Comm) error {
+		for i := 0; i < rounds; i++ {
+			counter.Add(1)
+			c.Barrier()
+			want := int64(5 * (i + 1))
+			if got := counter.Load(); got != want {
+				return fmt.Errorf("round %d: counter %d, want %d", i, got, want)
+			}
+			c.Barrier()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcastFromEveryRoot(t *testing.T) {
+	for _, size := range []int{1, 2, 3, 4, 5, 7, 8} {
+		size := size
+		t.Run(fmt.Sprintf("size%d", size), func(t *testing.T) {
+			err := Run(size, func(c *Comm) error {
+				for root := 0; root < size; root++ {
+					want := root*100 + 7
+					var x int
+					if c.Rank() == root {
+						x = want
+					}
+					got := c.BcastInt(root, x)
+					if got != want {
+						return fmt.Errorf("rank %d root %d: got %d want %d", c.Rank(), root, got, want)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestBcastFloatsPrivateCopy(t *testing.T) {
+	err := Run(3, func(c *Comm) error {
+		xs := []float64{float64(c.Rank()), 1}
+		got := c.BcastFloats(0, xs)
+		got[0] += 100 // mutating must not leak to other ranks
+		c.Barrier()
+		again := c.BcastFloats(0, []float64{5, 5})
+		if again[0] != 5 {
+			return fmt.Errorf("second bcast corrupted: %v", again)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	err := Run(6, func(c *Comm) error {
+		xs := []float64{float64(c.Rank()), 1}
+		got := c.Reduce(0, xs, SumOp)
+		if c.Rank() == 0 {
+			if got[0] != 15 || got[1] != 6 {
+				return fmt.Errorf("reduce got %v", got)
+			}
+		} else if got != nil {
+			return fmt.Errorf("non-root got %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceSumAndMax(t *testing.T) {
+	err := Run(5, func(c *Comm) error {
+		s := c.AllreduceSum(float64(c.Rank() + 1))
+		if s != 15 {
+			return fmt.Errorf("sum got %v", s)
+		}
+		m := c.AllreduceMax(float64(c.Rank()))
+		if m != 4 {
+			return fmt.Errorf("max got %v", m)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceMinOp(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		got := c.Allreduce([]float64{float64(10 - c.Rank())}, MinOp)
+		if got[0] != 7 {
+			return fmt.Errorf("min got %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherScatterRoundTrip(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		all := c.GatherFloats(0, []float64{float64(c.Rank()) * 2})
+		var back []float64
+		if c.Rank() == 0 {
+			for r, xs := range all {
+				if xs[0] != float64(r)*2 {
+					return fmt.Errorf("gather slot %d = %v", r, xs)
+				}
+			}
+			back = c.ScatterFloats(0, all)
+		} else {
+			back = c.ScatterFloats(0, nil)
+		}
+		if back[0] != float64(c.Rank())*2 {
+			return fmt.Errorf("scatter returned %v", back)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		all := c.AllgatherFloats([]float64{float64(c.Rank() * c.Rank())})
+		for r := 0; r < 4; r++ {
+			if all[r][0] != float64(r*r) {
+				return fmt.Errorf("allgather[%d] = %v", r, all[r])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoallv(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		bufs := make([][]float64, 4)
+		for r := range bufs {
+			// send r copies of my rank to rank r
+			for i := 0; i < r; i++ {
+				bufs[r] = append(bufs[r], float64(c.Rank()))
+			}
+		}
+		got := c.Alltoallv(bufs)
+		for src := range got {
+			if len(got[src]) != c.Rank() {
+				return fmt.Errorf("from %d: got %d elems, want %d", src, len(got[src]), c.Rank())
+			}
+			for _, v := range got[src] {
+				if v != float64(src) {
+					return fmt.Errorf("from %d: value %v", src, v)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepeatedCollectivesDoNotCrossMatch(t *testing.T) {
+	// Stress ordering: many back-to-back collectives with asymmetric work.
+	err := Run(6, func(c *Comm) error {
+		for i := 0; i < 30; i++ {
+			v := c.AllreduceSum(float64(i))
+			if v != float64(6*i) {
+				return fmt.Errorf("iter %d: sum %v", i, v)
+			}
+			if c.BcastInt(i%6, i) != i {
+				return fmt.Errorf("iter %d: bcast mismatch", i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitRowsAndColumns(t *testing.T) {
+	// 6 ranks as a 2x3 grid; split into row comms and col comms.
+	err := Run(6, func(c *Comm) error {
+		row, col := c.Rank()/3, c.Rank()%3
+		rowComm := c.Split(row, col)
+		colComm := c.Split(col, row)
+		if rowComm.Size() != 3 || rowComm.Rank() != col {
+			return fmt.Errorf("row comm size/rank = %d/%d", rowComm.Size(), rowComm.Rank())
+		}
+		if colComm.Size() != 2 || colComm.Rank() != row {
+			return fmt.Errorf("col comm size/rank = %d/%d", colComm.Size(), colComm.Rank())
+		}
+		// Sum over my row should be row-local.
+		s := rowComm.AllreduceSum(float64(c.Rank()))
+		want := float64(row*9 + 3) // ranks row*3 + {0,1,2}
+		if s != want {
+			return fmt.Errorf("row sum %v, want %v", s, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitNegativeColorExcluded(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		color := 0
+		if c.Rank() >= 2 {
+			color = -1
+		}
+		sub := c.Split(color, c.Rank())
+		if c.Rank() < 2 {
+			if sub == nil || sub.Size() != 2 {
+				return fmt.Errorf("rank %d excluded wrongly", c.Rank())
+			}
+		} else if sub != nil {
+			return fmt.Errorf("rank %d should be excluded", c.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubCommunicator(t *testing.T) {
+	err := Run(5, func(c *Comm) error {
+		sub := c.Sub([]int{0, 2, 4})
+		switch c.Rank() {
+		case 0, 2, 4:
+			if sub == nil {
+				return fmt.Errorf("rank %d missing from sub", c.Rank())
+			}
+			if sub.Size() != 3 || sub.Rank() != c.Rank()/2 {
+				return fmt.Errorf("rank %d: sub size/rank %d/%d", c.Rank(), sub.Size(), sub.Rank())
+			}
+			if got := sub.AllreduceSum(1); got != 3 {
+				return fmt.Errorf("sub allreduce %v", got)
+			}
+		default:
+			if sub != nil {
+				return fmt.Errorf("rank %d should not be in sub", c.Rank())
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDupIsolatesTraffic(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		d := c.Dup()
+		if c.Rank() == 0 {
+			c.Send(1, 5, "on-c")
+			d.Send(1, 5, "on-d")
+		} else {
+			// Receive on d first even though c's message was sent first:
+			// contexts must isolate the two.
+			v, _, _ := d.Recv(0, 5)
+			if v.(string) != "on-d" {
+				return fmt.Errorf("dup leaked: %v", v)
+			}
+			v, _, _ = c.Recv(0, 5)
+			if v.(string) != "on-c" {
+				return fmt.Errorf("wrong message on c: %v", v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpawnAndMerge(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		ic := c.Spawn(3, func(child *Intercomm) error {
+			m := child.Merge()
+			// children are ranks 2,3,4 of the merged comm of size 5
+			if m.Size() != 5 {
+				return fmt.Errorf("child merged size %d", m.Size())
+			}
+			if m.Rank() != 2+child.Local().Rank() {
+				return fmt.Errorf("child merged rank %d (local %d)", m.Rank(), child.Local().Rank())
+			}
+			s := m.AllreduceSum(float64(m.Rank()))
+			if s != 10 {
+				return fmt.Errorf("child allreduce %v", s)
+			}
+			return nil
+		})
+		if ic.RemoteSize() != 3 {
+			return fmt.Errorf("remote size %d", ic.RemoteSize())
+		}
+		m := ic.Merge()
+		if m.Size() != 5 || m.Rank() != c.Rank() {
+			return fmt.Errorf("parent merged size/rank %d/%d", m.Size(), m.Rank())
+		}
+		s := m.AllreduceSum(float64(m.Rank()))
+		if s != 10 {
+			return fmt.Errorf("parent allreduce %v", s)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpawnIntercommPointToPoint(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		ic := c.Spawn(2, func(child *Intercomm) error {
+			v, _, _ := child.Recv(AnySource, 1)
+			child.Send(v.(int), 2, child.Local().Rank()*100)
+			return nil
+		})
+		// parent rank r messages child rank r
+		ic.Send(c.Rank(), 1, c.Rank())
+		v, _, _ := ic.Recv(c.Rank(), 2)
+		if v.(int) != c.Rank()*100 {
+			return fmt.Errorf("got %v", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNestedSpawnGrowsTwice(t *testing.T) {
+	// Grow 1 -> 2 -> 4 as the resize library does on repeated expansion.
+	err := Run(1, func(c *Comm) error {
+		work := func(m *Comm) error {
+			s := m.AllreduceSum(1)
+			if s != float64(m.Size()) {
+				return fmt.Errorf("size %d sum %v", m.Size(), s)
+			}
+			return nil
+		}
+		grown2 := make(chan *Comm, 1)
+		ic := c.Spawn(1, func(child *Intercomm) error {
+			m := child.Merge()
+			if err := work(m); err != nil {
+				return err
+			}
+			// participate in the second expansion as a parent
+			ic2 := m.Spawn(2, func(grand *Intercomm) error {
+				return work(grand.Merge())
+			})
+			return work(ic2.Merge())
+		})
+		m := ic.Merge()
+		if err := work(m); err != nil {
+			return err
+		}
+		ic2 := m.Spawn(2, func(grand *Intercomm) error {
+			return work(grand.Merge())
+		})
+		m2 := ic2.Merge()
+		grown2 <- m2
+		return work(m2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPersistentRequests(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		const rounds = 5
+		if c.Rank() == 0 {
+			buf := make([]float64, 4)
+			req := c.SendInit(1, 9, buf)
+			for i := 0; i < rounds; i++ {
+				for j := range buf {
+					buf[j] = float64(i*10 + j)
+				}
+				req.Start()
+				req.Wait()
+			}
+		} else {
+			buf := make([]float64, 4)
+			req := c.RecvInit(0, 9, buf)
+			for i := 0; i < rounds; i++ {
+				req.Start()
+				req.Wait()
+				for j := range buf {
+					if buf[j] != float64(i*10+j) {
+						return fmt.Errorf("round %d: buf %v", i, buf)
+					}
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPersistentStartAllWaitAll(t *testing.T) {
+	err := Run(3, func(c *Comm) error {
+		// everyone sends to everyone (including via distinct requests)
+		var sends, recvs []*Request
+		n := c.Size()
+		sendBufs := make([][]float64, n)
+		recvBufs := make([][]float64, n)
+		for r := 0; r < n; r++ {
+			if r == c.Rank() {
+				continue
+			}
+			sendBufs[r] = []float64{float64(c.Rank()*10 + r)}
+			recvBufs[r] = make([]float64, 1)
+			sends = append(sends, c.SendInit(r, 4, sendBufs[r]))
+			recvs = append(recvs, c.RecvInit(r, 4, recvBufs[r]))
+		}
+		StartAll(sends)
+		StartAll(recvs)
+		WaitAll(recvs)
+		WaitAll(sends)
+		for r := 0; r < n; r++ {
+			if r == c.Rank() {
+				continue
+			}
+			want := float64(r*10 + c.Rank())
+			if recvBufs[r][0] != want {
+				return fmt.Errorf("from %d got %v want %v", r, recvBufs[r][0], want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPersistentMisuse(t *testing.T) {
+	err := Run(1, func(c *Comm) error {
+		defer func() {
+			if recover() == nil {
+				t.Error("double Start should panic")
+			}
+		}()
+		req := c.SendInit(0, 0, []float64{1})
+		req.Start()
+		req.Start()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargePayloadIntegrity(t *testing.T) {
+	const n = 1 << 16
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = math.Sqrt(float64(i))
+			}
+			c.SendFloats(1, 0, xs)
+		} else {
+			xs := c.RecvFloats(0, 0)
+			if len(xs) != n {
+				return fmt.Errorf("len %d", len(xs))
+			}
+			for i := 0; i < n; i += 997 {
+				if xs[i] != math.Sqrt(float64(i)) {
+					return fmt.Errorf("corrupt at %d", i)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

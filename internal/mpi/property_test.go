@@ -1,0 +1,207 @@
+package mpi
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestAllreduceSumProperty: the allreduce of random per-rank values equals
+// the serial sum, for random communicator sizes.
+func TestAllreduceSumProperty(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN%8) + 1
+		rng := rand.New(rand.NewSource(seed))
+		vals := make([]float64, n)
+		want := 0.0
+		for i := range vals {
+			vals[i] = float64(rng.Intn(1000))
+			want += vals[i]
+		}
+		ok := true
+		err := Run(n, func(c *Comm) error {
+			got := c.AllreduceSum(vals[c.Rank()])
+			if got != want {
+				return fmt.Errorf("got %v want %v", got, want)
+			}
+			return nil
+		})
+		if err != nil {
+			ok = false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBcastProperty: bcast from a random root delivers the root's value to
+// every rank.
+func TestBcastProperty(t *testing.T) {
+	f := func(seed int64, rawN, rawRoot uint8) bool {
+		n := int(rawN%8) + 1
+		root := int(rawRoot) % n
+		want := int(seed % 100000)
+		err := Run(n, func(c *Comm) error {
+			x := -1
+			if c.Rank() == root {
+				x = want
+			}
+			if got := c.BcastInt(root, x); got != want {
+				return fmt.Errorf("rank %d got %d", c.Rank(), got)
+			}
+			return nil
+		})
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSplitProperty: splitting by random colors yields communicators whose
+// sizes sum to the parent and whose allreduce sums are color-local.
+func TestSplitProperty(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN%8) + 2
+		rng := rand.New(rand.NewSource(seed))
+		colors := make([]int, n)
+		wantSum := map[int]float64{}
+		for r := range colors {
+			colors[r] = rng.Intn(3)
+			wantSum[colors[r]] += float64(r)
+		}
+		err := Run(n, func(c *Comm) error {
+			sub := c.Split(colors[c.Rank()], c.Rank())
+			if sub == nil {
+				return fmt.Errorf("rank %d got nil sub", c.Rank())
+			}
+			got := sub.AllreduceSum(float64(c.Rank()))
+			if got != wantSum[colors[c.Rank()]] {
+				return fmt.Errorf("rank %d color %d: sum %v want %v",
+					c.Rank(), colors[c.Rank()], got, wantSum[colors[c.Rank()]])
+			}
+			return nil
+		})
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentWorldsAreIsolated: several worlds running simultaneously
+// must not interfere (each job in ReSHAPE runs in its own world).
+func TestConcurrentWorldsAreIsolated(t *testing.T) {
+	const worlds = 6
+	errs := make(chan error, worlds)
+	for w := 0; w < worlds; w++ {
+		w := w
+		go func() {
+			errs <- Run(4, func(c *Comm) error {
+				for i := 0; i < 20; i++ {
+					s := c.AllreduceSum(float64(w))
+					if s != float64(4*w) {
+						return fmt.Errorf("world %d: sum %v", w, s)
+					}
+				}
+				return nil
+			})
+		}()
+	}
+	for w := 0; w < worlds; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestManyRanksStress pushes a larger communicator through mixed traffic.
+func TestManyRanksStress(t *testing.T) {
+	const n = 32
+	err := Run(n, func(c *Comm) error {
+		// ring exchange
+		next := (c.Rank() + 1) % n
+		prev := (c.Rank() + n - 1) % n
+		for i := 0; i < 10; i++ {
+			c.SendFloats(next, 1, []float64{float64(c.Rank()*1000 + i)})
+			got := c.RecvFloats(prev, 1)
+			if got[0] != float64(prev*1000+i) {
+				return fmt.Errorf("ring iter %d: got %v", i, got[0])
+			}
+		}
+		// interleaved collectives
+		if s := c.AllreduceSum(1); s != n {
+			return fmt.Errorf("allreduce %v", s)
+		}
+		c.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpawnManyChildren grows a world by 16 ranks in one spawn.
+func TestSpawnManyChildren(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		ic := c.Spawn(16, func(child *Intercomm) error {
+			m := child.Merge()
+			if s := m.AllreduceSum(1); s != 20 {
+				return fmt.Errorf("child merged sum %v", s)
+			}
+			return nil
+		})
+		m := ic.Merge()
+		if s := m.AllreduceSum(1); s != 20 {
+			return fmt.Errorf("parent merged sum %v", s)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAlltoallvProperty: total floats received equals total floats sent.
+func TestAlltoallvProperty(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN%6) + 1
+		rng := rand.New(rand.NewSource(seed))
+		// sizes[src][dst]
+		sizes := make([][]int, n)
+		for s := range sizes {
+			sizes[s] = make([]int, n)
+			for d := range sizes[s] {
+				sizes[s][d] = rng.Intn(5)
+			}
+		}
+		err := Run(n, func(c *Comm) error {
+			bufs := make([][]float64, n)
+			for d := 0; d < n; d++ {
+				bufs[d] = make([]float64, sizes[c.Rank()][d])
+				for i := range bufs[d] {
+					bufs[d][i] = float64(c.Rank())
+				}
+			}
+			got := c.Alltoallv(bufs)
+			for s := 0; s < n; s++ {
+				if len(got[s]) != sizes[s][c.Rank()] {
+					return fmt.Errorf("from %d: %d floats, want %d", s, len(got[s]), sizes[s][c.Rank()])
+				}
+				for _, v := range got[s] {
+					if v != float64(s) {
+						return fmt.Errorf("from %d: value %v", s, v)
+					}
+				}
+			}
+			return nil
+		})
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

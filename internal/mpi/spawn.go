@@ -1,0 +1,126 @@
+package mpi
+
+import "fmt"
+
+// Intercomm connects two disjoint groups of ranks: a local group (the side
+// the caller belongs to) and a remote group. It mirrors the MPI
+// intercommunicator produced by MPI_Comm_spawn_multiple, and can be merged
+// into a single intracommunicator like MPI_Intercomm_merge.
+type Intercomm struct {
+	local      *Comm
+	remoteGids []int
+	ctx        int  // context for cross-group point-to-point traffic
+	mergedCtx  int  // pre-agreed context for the merged intracommunicator
+	localFirst bool // true on the parent side: parents precede children after Merge
+}
+
+// Local returns the communicator over the caller's own group.
+func (ic *Intercomm) Local() *Comm { return ic.local }
+
+// RemoteSize returns the number of ranks in the remote group.
+func (ic *Intercomm) RemoteSize() int { return len(ic.remoteGids) }
+
+// Send delivers v to rank dst of the remote group.
+func (ic *Intercomm) Send(dst, tag int, v any) {
+	if dst < 0 || dst >= len(ic.remoteGids) {
+		panic(fmt.Sprintf("mpi: intercomm Send to invalid remote rank %d (size %d)", dst, len(ic.remoteGids)))
+	}
+	p := ic.local.world.lookup(ic.remoteGids[dst])
+	p.deliver(envelope{ctx: ic.ctx, src: ic.local.rank, tag: tag, data: v})
+}
+
+// Recv blocks for a message from rank src of the remote group (or AnySource).
+func (ic *Intercomm) Recv(src, tag int) (v any, actualSrc, actualTag int) {
+	e := ic.local.proc.take(ic.ctx, src, tag)
+	return e.data, e.src, e.tag
+}
+
+// Merge combines both groups into one intracommunicator. On the side created
+// with localFirst (the spawning parents), local ranks come first, followed by
+// the remote (spawned) ranks, exactly as the ReSHAPE resize library expects
+// when growing a processor set. Merge is purely local: the merged context was
+// agreed at spawn time, so no traffic is needed.
+func (ic *Intercomm) Merge() *Comm {
+	var gids []int
+	var rank int
+	localGids := ic.local.gids
+	if ic.localFirst {
+		gids = append(append([]int{}, localGids...), ic.remoteGids...)
+		rank = ic.local.rank
+	} else {
+		gids = append(append([]int{}, ic.remoteGids...), localGids...)
+		rank = len(ic.remoteGids) + ic.local.rank
+	}
+	return &Comm{world: ic.local.world, proc: ic.local.proc, ctx: ic.mergedCtx, gids: gids, rank: rank}
+}
+
+// spawnInfo is the control message broadcast to all parents during Spawn.
+type spawnInfo struct {
+	childGids []int
+	childCtx  int
+	interCtx  int
+	mergedCtx int
+}
+
+// Spawn collectively creates k new ranks running fn and returns the
+// parent-side intercommunicator on every parent rank. Each child receives a
+// child-side intercommunicator whose Local() communicator spans the k
+// children (the child "world"), mirroring MPI_Comm_get_parent. The world
+// waits for spawned ranks before Run returns.
+func (c *Comm) Spawn(k int, fn func(*Intercomm) error) *Intercomm {
+	if k <= 0 {
+		panic(fmt.Sprintf("mpi: Spawn needs at least 1 child, got %d", k))
+	}
+	var info spawnInfo
+	if c.rank == 0 {
+		childGids, childCtx := c.world.allocProcs(k)
+		info = spawnInfo{
+			childGids: childGids,
+			childCtx:  childCtx,
+			interCtx:  c.world.allocCtx(),
+			mergedCtx: c.world.allocCtx(),
+		}
+	}
+	info = c.Bcast(0, info).(spawnInfo)
+
+	if c.rank == 0 {
+		parentGids := append([]int{}, c.gids...)
+		for i := 0; i < k; i++ {
+			childComm := &Comm{
+				world: c.world,
+				proc:  c.world.lookup(info.childGids[i]),
+				ctx:   info.childCtx,
+				gids:  info.childGids,
+				rank:  i,
+			}
+			childIC := &Intercomm{
+				local:      childComm,
+				remoteGids: parentGids,
+				ctx:        info.interCtx,
+				mergedCtx:  info.mergedCtx,
+				localFirst: false,
+			}
+			c.world.launchIntercomm(childIC, fn)
+		}
+	}
+	return &Intercomm{
+		local:      c,
+		remoteGids: info.childGids,
+		ctx:        info.interCtx,
+		mergedCtx:  info.mergedCtx,
+		localFirst: true,
+	}
+}
+
+// launchIntercomm starts fn for a spawned child rank, tracked by the world.
+func (w *World) launchIntercomm(ic *Intercomm, fn func(*Intercomm) error) {
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		if err := fn(ic); err != nil {
+			w.errMu.Lock()
+			w.errs = append(w.errs, fmt.Errorf("spawned rank %d (gid %d): %w", ic.local.rank, ic.local.proc.gid, err))
+			w.errMu.Unlock()
+		}
+	}()
+}

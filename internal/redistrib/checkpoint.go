@@ -1,0 +1,132 @@
+package redistrib
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/blockcyclic"
+	"repro/internal/mpi"
+)
+
+// Checkpoint tags; distinct from the schedule-based path so both can be
+// exercised on the same communicator in tests.
+const (
+	tagCkptGather  = 9100
+	tagCkptScatter = 9101
+)
+
+// CheckpointStats reports the I/O performed by the file-based baseline.
+type CheckpointStats struct {
+	BytesWritten int64
+	BytesRead    int64
+}
+
+// CheckpointRedistribute redistributes srcData from the src layout to the
+// dst layout through the file-based checkpoint/restart baseline the paper
+// compares against: every source rank funnels its piece to rank 0, rank 0
+// serializes the assembled global array to a file in dir (os.TempDir if
+// empty), reads it back, and scatters the destination pieces. This is the
+// "all data saved and restored through a single node" strategy whose cost
+// Figure 3(b) contrasts with the message-passing redistribution algorithm.
+func CheckpointRedistribute(c *mpi.Comm, src blockcyclic.Layout, srcData []float64, dst blockcyclic.Layout) ([]float64, CheckpointStats, error) {
+	return CheckpointRedistributeDir(c, src, srcData, dst, "")
+}
+
+// CheckpointRedistributeDir is CheckpointRedistribute with an explicit
+// staging directory.
+func CheckpointRedistributeDir(c *mpi.Comm, src blockcyclic.Layout, srcData []float64, dst blockcyclic.Layout, dir string) ([]float64, CheckpointStats, error) {
+	var stats CheckpointStats
+	if src.M != dst.M || src.N != dst.N {
+		return nil, stats, fmt.Errorf("redistrib: checkpoint shape mismatch %dx%d vs %dx%d", src.M, src.N, dst.M, dst.N)
+	}
+	me := c.Rank()
+	p := src.Grid.Count()
+	q := dst.Grid.Count()
+
+	// Phase 1: funnel all source pieces to rank 0.
+	if me != 0 && me < p {
+		c.SendFloats(0, tagCkptGather, srcData)
+	}
+
+	if me == 0 {
+		global := make([]float64, src.M*src.N)
+		writePiece(global, src, 0, srcData)
+		for r := 1; r < p; r++ {
+			piece := c.RecvFloats(r, tagCkptGather)
+			writePiece(global, src, r, piece)
+		}
+
+		// Phase 2: checkpoint to disk and restore.
+		if dir == "" {
+			dir = os.TempDir()
+		}
+		f, err := os.CreateTemp(dir, "reshape-ckpt-*.bin")
+		if err != nil {
+			return nil, stats, fmt.Errorf("redistrib: checkpoint create: %w", err)
+		}
+		path := f.Name()
+		defer os.Remove(path)
+		if err := binary.Write(f, binary.LittleEndian, global); err != nil {
+			f.Close()
+			return nil, stats, fmt.Errorf("redistrib: checkpoint write: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return nil, stats, fmt.Errorf("redistrib: checkpoint close: %w", err)
+		}
+		stats.BytesWritten = int64(len(global) * 8)
+
+		rf, err := os.Open(filepath.Clean(path))
+		if err != nil {
+			return nil, stats, fmt.Errorf("redistrib: checkpoint reopen: %w", err)
+		}
+		restored := make([]float64, len(global))
+		if err := binary.Read(rf, binary.LittleEndian, restored); err != nil {
+			rf.Close()
+			return nil, stats, fmt.Errorf("redistrib: checkpoint read: %w", err)
+		}
+		rf.Close()
+		stats.BytesRead = int64(len(restored) * 8)
+
+		// Phase 3: scatter destination pieces.
+		for r := q - 1; r >= 0; r-- {
+			piece := readPiece(restored, dst, r)
+			if r == 0 {
+				return piece, stats, nil
+			}
+			c.Send(r, tagCkptScatter, piece)
+		}
+	}
+
+	if me < q {
+		return c.RecvFloats(0, tagCkptScatter), stats, nil
+	}
+	return nil, stats, nil
+}
+
+// writePiece scatters a rank's local piece into the dense global array.
+func writePiece(global []float64, l blockcyclic.Layout, rank int, piece []float64) {
+	pr, pc := l.Coords(rank)
+	rows, cols := l.LocalRows(pr), l.LocalCols(pc)
+	for li := 0; li < rows; li++ {
+		for lj := 0; lj < cols; lj++ {
+			gi, gj := l.LocalToGlobal(pr, pc, li, lj)
+			global[gi*l.N+gj] = piece[li*cols+lj]
+		}
+	}
+}
+
+// readPiece extracts a rank's local piece from the dense global array.
+func readPiece(global []float64, l blockcyclic.Layout, rank int) []float64 {
+	pr, pc := l.Coords(rank)
+	rows, cols := l.LocalRows(pr), l.LocalCols(pc)
+	piece := make([]float64, rows*cols)
+	for li := 0; li < rows; li++ {
+		for lj := 0; lj < cols; lj++ {
+			gi, gj := l.LocalToGlobal(pr, pc, li, lj)
+			piece[li*cols+lj] = global[gi*l.N+gj]
+		}
+	}
+	return piece
+}

@@ -1,0 +1,90 @@
+package redistrib
+
+import (
+	"fmt"
+
+	"repro/internal/blockcyclic"
+	"repro/internal/mpi"
+)
+
+// Resample redistributes between two layouts of the same global array that
+// may differ in block size as well as grid shape — the generic fallback the
+// paper alludes to when noting the library "can be extended to support
+// other global data structures and other redistribution algorithms". Unlike
+// the circulant-schedule path, blocks do not map wholly, so the exchange is
+// element-wise over a single Alltoallv phase: every rank packs, per
+// destination, its local elements in sender-storage order; receivers replay
+// each sender's enumeration (both sides know both layouts) to unpack.
+//
+// Complexity is O(elements) to pack and O(sum of senders' local extents) to
+// unpack, higher than Plan.Execute; prefer the schedule-based path when the
+// block sizes match.
+func Resample(c *mpi.Comm, src blockcyclic.Layout, srcData []float64, dst blockcyclic.Layout) ([]float64, error) {
+	if err := src.Validate(); err != nil {
+		return nil, err
+	}
+	if err := dst.Validate(); err != nil {
+		return nil, err
+	}
+	if src.M != dst.M || src.N != dst.N {
+		return nil, fmt.Errorf("redistrib: resample shape mismatch %dx%d vs %dx%d", src.M, src.N, dst.M, dst.N)
+	}
+	me := c.Rank()
+	p := src.Grid.Count()
+	q := dst.Grid.Count()
+	if c.Size() < p || c.Size() < q {
+		return nil, fmt.Errorf("redistrib: communicator size %d smaller than grids (%d src, %d dst)",
+			c.Size(), p, q)
+	}
+
+	sendbufs := make([][]float64, c.Size())
+	if me < p {
+		if len(srcData) != src.LocalSize(me) {
+			return nil, fmt.Errorf("redistrib: rank %d source data has %d floats, layout expects %d",
+				me, len(srcData), src.LocalSize(me))
+		}
+		pr, pc := src.Coords(me)
+		rows, cols := src.LocalRows(pr), src.LocalCols(pc)
+		for li := 0; li < rows; li++ {
+			for lj := 0; lj < cols; lj++ {
+				gi, gj := src.LocalToGlobal(pr, pc, li, lj)
+				dr, dc, _, _ := dst.GlobalToLocal(gi, gj)
+				dest := dst.Rank(dr, dc)
+				sendbufs[dest] = append(sendbufs[dest], srcData[li*cols+lj])
+			}
+		}
+	}
+	recv := c.Alltoallv(sendbufs)
+
+	if me >= q {
+		return nil, nil
+	}
+	out := make([]float64, dst.LocalSize(me))
+	_, myC := dst.Coords(me)
+	dstCols := dst.LocalCols(myC)
+	for s := 0; s < p; s++ {
+		buf := recv[s]
+		if len(buf) == 0 {
+			continue
+		}
+		spr, spc := src.Coords(s)
+		rows, cols := src.LocalRows(spr), src.LocalCols(spc)
+		k := 0
+		for li := 0; li < rows; li++ {
+			for lj := 0; lj < cols; lj++ {
+				gi, gj := src.LocalToGlobal(spr, spc, li, lj)
+				dr, dc, dli, dlj := dst.GlobalToLocal(gi, gj)
+				if dst.Rank(dr, dc) != me {
+					continue
+				}
+				out[dli*dstCols+dlj] = buf[k]
+				k++
+			}
+		}
+		if k != len(buf) {
+			return nil, fmt.Errorf("redistrib: resample unpack consumed %d of %d floats from rank %d",
+				k, len(buf), s)
+		}
+	}
+	return out, nil
+}

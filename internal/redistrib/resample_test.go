@@ -1,0 +1,142 @@
+package redistrib
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/blockcyclic"
+	"repro/internal/grid"
+	"repro/internal/mpi"
+)
+
+// checkResample verifies Resample against direct distribution.
+func checkResample(src, dst blockcyclic.Layout, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	global := make([]float64, src.M*src.N)
+	for i := range global {
+		global[i] = rng.NormFloat64()
+	}
+	srcPieces := blockcyclic.Distribute(global, src)
+	wantPieces := blockcyclic.Distribute(global, dst)
+	p, q := src.Grid.Count(), dst.Grid.Count()
+	world := p
+	if q > world {
+		world = q
+	}
+	return mpi.Run(world, func(c *mpi.Comm) error {
+		var mine []float64
+		if c.Rank() < p {
+			mine = srcPieces[c.Rank()].Data
+		}
+		got, err := Resample(c, src, mine, dst)
+		if err != nil {
+			return err
+		}
+		if c.Rank() >= q {
+			if got != nil {
+				return fmt.Errorf("rank %d outside dst grid got data", c.Rank())
+			}
+			return nil
+		}
+		want := wantPieces[c.Rank()].Data
+		if len(got) != len(want) {
+			return fmt.Errorf("rank %d: %d floats, want %d", c.Rank(), len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return fmt.Errorf("rank %d: element %d = %v, want %v", c.Rank(), i, got[i], want[i])
+			}
+		}
+		return nil
+	})
+}
+
+func TestResampleChangesBlockSize(t *testing.T) {
+	src := l2d(12, 12, 2, 2, grid.Topology{Rows: 2, Cols: 2})
+	dst := l2d(12, 12, 3, 4, grid.Topology{Rows: 2, Cols: 2})
+	if err := checkResample(src, dst, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResampleChangesGridAndBlocks(t *testing.T) {
+	src := l2d(14, 10, 3, 2, grid.Topology{Rows: 1, Cols: 3})
+	dst := l2d(14, 10, 2, 5, grid.Topology{Rows: 2, Cols: 2})
+	if err := checkResample(src, dst, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResampleMatchesScheduleWhenBlocksEqual(t *testing.T) {
+	src := l2d(12, 12, 2, 2, grid.Topology{Rows: 2, Cols: 2})
+	dst := l2d(12, 12, 2, 2, grid.Topology{Rows: 2, Cols: 3})
+	rng := rand.New(rand.NewSource(3))
+	global := make([]float64, 144)
+	for i := range global {
+		global[i] = rng.NormFloat64()
+	}
+	srcPieces := blockcyclic.Distribute(global, src)
+	err := mpi.Run(6, func(c *mpi.Comm) error {
+		var mine []float64
+		if c.Rank() < 4 {
+			mine = srcPieces[c.Rank()].Data
+		}
+		viaSchedule, err := Redistribute(c, src, mine, dst)
+		if err != nil {
+			return err
+		}
+		viaResample, err := Resample(c, src, mine, dst)
+		if err != nil {
+			return err
+		}
+		if len(viaSchedule) != len(viaResample) {
+			return fmt.Errorf("rank %d: lengths differ", c.Rank())
+		}
+		for i := range viaSchedule {
+			if viaSchedule[i] != viaResample[i] {
+				return fmt.Errorf("rank %d: differ at %d", c.Rank(), i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResamplePropertyRandom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test")
+	}
+	f := func(rawM, rawN, mb1, nb1, mb2, nb2, g1r, g1c, g2r, g2c uint8, seed int64) bool {
+		m := int(rawM%16) + 1
+		n := int(rawN%16) + 1
+		src := l2d(m, n, int(mb1%4)+1, int(nb1%4)+1,
+			grid.Topology{Rows: int(g1r%3) + 1, Cols: int(g1c%3) + 1})
+		dst := l2d(m, n, int(mb2%4)+1, int(nb2%4)+1,
+			grid.Topology{Rows: int(g2r%3) + 1, Cols: int(g2c%3) + 1})
+		return checkResample(src, dst, seed) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResampleValidates(t *testing.T) {
+	err := mpi.Run(1, func(c *mpi.Comm) error {
+		a := l2d(4, 4, 2, 2, grid.Topology{Rows: 1, Cols: 1})
+		b := l2d(4, 6, 2, 2, grid.Topology{Rows: 1, Cols: 1})
+		if _, err := Resample(c, a, make([]float64, 16), b); err == nil {
+			return fmt.Errorf("shape mismatch accepted")
+		}
+		if _, err := Resample(c, a, make([]float64, 3), a); err == nil {
+			return fmt.Errorf("wrong local size accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+package redistrib
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSchedule1DKnownCases(t *testing.T) {
+	cases := []struct {
+		p, q, steps int
+	}{
+		{2, 4, 2},   // g=2, max(1,2)=2
+		{4, 2, 2},   // shrink direction
+		{4, 16, 4},  // g=4
+		{6, 9, 6},   // g=3, max(2,3)=... 6/3=2, 9/3=3 -> 3 steps
+		{1, 5, 5},   // g=1
+		{5, 5, 1},   // identity
+		{12, 20, 5}, // g=4, max(3,5)=5
+	}
+	for _, c := range cases {
+		sched := Schedule1D(c.p, c.q)
+		want := c.steps
+		if c.p == 6 && c.q == 9 {
+			want = 3
+		}
+		if len(sched) != want {
+			t.Errorf("Schedule1D(%d,%d) has %d steps, want %d", c.p, c.q, len(sched), want)
+		}
+		if err := validateSchedule(sched, c.p, c.q); err != nil {
+			t.Errorf("Schedule1D(%d,%d): %v", c.p, c.q, err)
+		}
+	}
+}
+
+func TestSchedule1DContentionFree(t *testing.T) {
+	for p := 1; p <= 12; p++ {
+		for q := 1; q <= 12; q++ {
+			sched := Schedule1D(p, q)
+			if got := MaxReceiveContention(sched); got != 1 {
+				t.Errorf("Schedule1D(%d,%d) receive contention %d", p, q, got)
+			}
+			if got := MaxSendContention(sched); got != 1 {
+				t.Errorf("Schedule1D(%d,%d) send contention %d", p, q, got)
+			}
+		}
+	}
+}
+
+func TestSchedule1DCoversAllPairsProperty(t *testing.T) {
+	f := func(rawP, rawQ uint8) bool {
+		p := int(rawP%32) + 1
+		q := int(rawQ%32) + 1
+		return validateSchedule(Schedule1D(p, q), p, q) == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSchedule1DIdentityIsLocal(t *testing.T) {
+	sched := Schedule1D(7, 7)
+	if len(sched) != 1 {
+		t.Fatalf("identity schedule has %d steps", len(sched))
+	}
+	for _, pr := range sched[0] {
+		if pr.Src != pr.Dst {
+			t.Errorf("identity schedule contains non-local pair %v", pr)
+		}
+	}
+}
+
+func TestSchedule1DInvalidInputs(t *testing.T) {
+	if Schedule1D(0, 4) != nil || Schedule1D(4, -1) != nil {
+		t.Error("invalid processor counts should yield nil schedule")
+	}
+}
+
+func TestScheduleNaiveHasContention(t *testing.T) {
+	sched := ScheduleNaive(8, 2)
+	if len(sched) != 1 {
+		t.Fatalf("naive schedule should be one step, got %d", len(sched))
+	}
+	if got := MaxReceiveContention(sched); got != 4 {
+		t.Errorf("naive 8->2 receive contention = %d, want 4", got)
+	}
+	if err := validateSchedule(sched, 8, 2); err != nil {
+		t.Errorf("naive schedule must still cover all pairs: %v", err)
+	}
+}
+
+func TestScheduleStepCountIsOptimal(t *testing.T) {
+	// The circulant schedule needs exactly max(p,q)/gcd(p,q) steps, which is
+	// the degree of the bipartite communication graph and thus optimal.
+	f := func(rawP, rawQ uint8) bool {
+		p := int(rawP%24) + 1
+		q := int(rawQ%24) + 1
+		g := gcd(p, q)
+		want := p / g
+		if q/g > want {
+			want = q / g
+		}
+		return len(Schedule1D(p, q)) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassBlocksPartitionBlocks(t *testing.T) {
+	// Every block index must appear in exactly one (src,dst) class.
+	nblocks, p, q := 37, 4, 6
+	seen := make([]int, nblocks)
+	for s := 0; s < p; s++ {
+		for d := 0; d < q; d++ {
+			for _, j := range classBlocks(nblocks, p, s, q, d) {
+				seen[j]++
+				if j%p != s || j%q != d {
+					t.Fatalf("block %d in wrong class (%d,%d)", j, s, d)
+				}
+			}
+		}
+	}
+	for j, n := range seen {
+		if n != 1 {
+			t.Fatalf("block %d appears %d times", j, n)
+		}
+	}
+}

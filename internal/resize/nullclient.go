@@ -1,0 +1,54 @@
+package resize
+
+import (
+	"repro/internal/grid"
+	"repro/internal/scheduler"
+)
+
+// NullClient is a scheduler stub that never resizes. It lets applications
+// built against the resizing API run standalone (and under test) without a
+// scheduler, equivalent to static scheduling.
+type NullClient struct{}
+
+// Contact always answers "no change".
+func (NullClient) Contact(jobID int, topo grid.Topology, iterTime, redistTime float64) (scheduler.Decision, error) {
+	return scheduler.Decision{Action: scheduler.ActionNone, Reason: "null client"}, nil
+}
+
+// ResizeComplete is a no-op.
+func (NullClient) ResizeComplete(jobID int, redistTime float64) error { return nil }
+
+// JobEnd is a no-op.
+func (NullClient) JobEnd(jobID int) error { return nil }
+
+// ScriptedClient replays a fixed sequence of decisions, one per contact, for
+// deterministic resize tests. After the script is exhausted it answers "no
+// change".
+type ScriptedClient struct {
+	Script    []scheduler.Decision
+	Contacts  int
+	Completed []float64 // redistribution times reported via ResizeComplete
+	Ended     bool
+}
+
+// Contact pops the next scripted decision.
+func (c *ScriptedClient) Contact(jobID int, topo grid.Topology, iterTime, redistTime float64) (scheduler.Decision, error) {
+	i := c.Contacts
+	c.Contacts++
+	if i < len(c.Script) {
+		return c.Script[i], nil
+	}
+	return scheduler.Decision{Action: scheduler.ActionNone}, nil
+}
+
+// ResizeComplete records the reported cost.
+func (c *ScriptedClient) ResizeComplete(jobID int, redistTime float64) error {
+	c.Completed = append(c.Completed, redistTime)
+	return nil
+}
+
+// JobEnd records completion.
+func (c *ScriptedClient) JobEnd(jobID int) error {
+	c.Ended = true
+	return nil
+}

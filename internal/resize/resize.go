@@ -1,0 +1,406 @@
+// Package resize implements ReSHAPE's resizing library and API (§3.2 of the
+// paper): the machinery that lets a running application change the size of
+// its processor set at resize points without being suspended.
+//
+// At a resize point the application calls Session.Resize with its latest
+// iteration time (the paper's "simple functional API"). The library then:
+//
+//  1. contacts the scheduler with the performance report
+//     (contact_scheduler),
+//  2. on an expand decision, spawns new ranks (MPI_Comm_spawn_multiple),
+//     merges the intercommunicator into a grown intracommunicator, creates
+//     a fresh grid context, and redistributes every registered global array
+//     onto the new processor grid,
+//  3. on a shrink decision, redistributes the arrays onto the surviving
+//     prefix of ranks, carves a sub-communicator for them, rebuilds the
+//     grid context, and retires the excess ranks,
+//  4. reports the measured redistribution cost back to the scheduler so the
+//     Performance Profiler can weigh future resizing decisions.
+//
+// The advanced API (ContactScheduler, ExpandProcessors, ShrinkProcessors,
+// RedistributeAll) exposes the individual stages of Figure 1(b).
+package resize
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/blacs"
+	"repro/internal/blockcyclic"
+	"repro/internal/grid"
+	"repro/internal/mpi"
+	"repro/internal/redistrib"
+	"repro/internal/scheduler"
+)
+
+// Client is the scheduler interface the resizing library talks to. The
+// in-process scheduler.Server implements it directly; cmd/reshaped wraps it
+// over TCP.
+type Client interface {
+	// Contact reports an iteration from a resize point and returns the
+	// remap decision (the paper's contact_scheduler).
+	Contact(jobID int, topo grid.Topology, iterTime, redistTime float64) (scheduler.Decision, error)
+	// ResizeComplete confirms a finished resize and reports its cost.
+	ResizeComplete(jobID int, redistTime float64) error
+	// JobEnd signals normal completion (the application monitor's job-end).
+	JobEnd(jobID int) error
+}
+
+// Array is one global block-cyclic array registered for redistribution.
+// Data holds the calling rank's local piece under the session's current
+// topology (nil on ranks outside the grid).
+type Array struct {
+	Name   string
+	M, N   int
+	MB, NB int
+	Data   []float64
+}
+
+// LayoutFor returns the array's layout on a given processor topology.
+func (a *Array) LayoutFor(topo grid.Topology) blockcyclic.Layout {
+	return blockcyclic.Layout{M: a.M, N: a.N, MB: a.MB, NB: a.NB, Grid: topo}
+}
+
+// Status is the outcome of a Resize call.
+type Status int
+
+const (
+	// Continue: proceed with the next iteration on the (possibly resized)
+	// processor set.
+	Continue Status = iota
+	// Retired: this rank was shrunk away and must return from its worker.
+	Retired
+)
+
+// Worker is the application body executed by every rank, including ranks
+// spawned during expansion. It typically rebuilds app state from
+// s.Arrays()/s.Replicated and loops: iterate, then s.Resize.
+type Worker func(s *Session) error
+
+// Session is a rank's handle on the resizing library.
+type Session struct {
+	client Client
+	jobID  int
+	worker Worker
+
+	comm *mpi.Comm
+	ctx  *blacs.Context
+	topo grid.Topology
+
+	arrays     []*Array
+	replicated map[string][]float64
+
+	iter       int
+	lastRedist float64
+	log        []IterationRecord
+}
+
+// IterationRecord is one entry of the simple API's log.
+type IterationRecord struct {
+	Iter      int
+	Topo      grid.Topology
+	AvgTime   float64
+	RedistSec float64
+}
+
+// NewSession creates a session over comm with the given starting topology.
+// Collective over comm. The worker is retained so ranks spawned by later
+// expansions can run the same application body.
+func NewSession(client Client, jobID int, comm *mpi.Comm, topo grid.Topology, worker Worker) (*Session, error) {
+	ctx, err := blacs.New(comm, topo)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{
+		client:     client,
+		jobID:      jobID,
+		worker:     worker,
+		comm:       comm,
+		ctx:        ctx,
+		topo:       topo,
+		replicated: make(map[string][]float64),
+	}, nil
+}
+
+// Comm returns the current communicator.
+func (s *Session) Comm() *mpi.Comm { return s.comm }
+
+// Ctx returns the current grid context.
+func (s *Session) Ctx() *blacs.Context { return s.ctx }
+
+// Topo returns the current processor topology.
+func (s *Session) Topo() grid.Topology { return s.topo }
+
+// JobID returns the scheduler's job id.
+func (s *Session) JobID() int { return s.jobID }
+
+// Iter returns the number of completed iterations.
+func (s *Session) Iter() int { return s.iter }
+
+// LastRedist returns the redistribution cost of the most recent resize, in
+// seconds (0 if the last resize point made no change).
+func (s *Session) LastRedist() float64 { return s.lastRedist }
+
+// RegisterArray adds a global array to the set redistributed at every
+// resize. All ranks must register the same arrays in the same order.
+func (s *Session) RegisterArray(a *Array) {
+	s.arrays = append(s.arrays, a)
+}
+
+// Arrays returns the registered arrays (with current local pieces).
+func (s *Session) Arrays() []*Array { return s.arrays }
+
+// Array returns a registered array by name.
+func (s *Session) Array(name string) (*Array, bool) {
+	for _, a := range s.arrays {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// SetReplicated registers rank-replicated state (e.g. a solution vector)
+// that newly spawned ranks must receive. The slice contents as seen by rank
+// 0 at expansion time are copied to the children.
+func (s *Session) SetReplicated(name string, data []float64) {
+	s.replicated[name] = data
+}
+
+// Replicated returns replicated state by name.
+func (s *Session) Replicated(name string) []float64 { return s.replicated[name] }
+
+// Log implements the simple API's log(iteration time): it averages the
+// per-rank iteration time across the grid and records it on rank 0.
+func (s *Session) Log(iterTime float64) float64 {
+	avg := s.comm.AllreduceSum(iterTime) / float64(s.comm.Size())
+	if s.comm.Rank() == 0 {
+		s.log = append(s.log, IterationRecord{
+			Iter: s.iter, Topo: s.topo, AvgTime: avg, RedistSec: s.lastRedist,
+		})
+	}
+	return avg
+}
+
+// LogRecords returns rank 0's iteration log.
+func (s *Session) LogRecords() []IterationRecord { return s.log }
+
+// Done signals job completion to the scheduler (rank 0 only; other ranks
+// no-op), mirroring the application monitor's job-end message.
+func (s *Session) Done() error {
+	if s.comm.Rank() == 0 {
+		return s.client.JobEnd(s.jobID)
+	}
+	return nil
+}
+
+// ContactScheduler is the advanced API: rank 0 reports (iterTime,
+// redistTime) and the decision is broadcast to every rank. Collective.
+func (s *Session) ContactScheduler(iterTime, redistTime float64) (scheduler.Decision, error) {
+	type wire struct {
+		d   scheduler.Decision
+		err string
+	}
+	var w wire
+	if s.comm.Rank() == 0 {
+		d, err := s.client.Contact(s.jobID, s.topo, iterTime, redistTime)
+		w.d = d
+		if err != nil {
+			w.err = err.Error()
+		}
+	}
+	w = s.comm.Bcast(0, w).(wire)
+	if w.err != "" {
+		return scheduler.Decision{}, fmt.Errorf("resize: contact scheduler: %s", w.err)
+	}
+	return w.d, nil
+}
+
+// Resize is the simple API: it averages the iteration time across ranks,
+// contacts the scheduler, and actuates the returned decision (expanding,
+// shrinking and redistributing as needed). It returns Retired on ranks that
+// were shrunk away; those must return from their worker immediately.
+func (s *Session) Resize(iterTime float64) (Status, error) {
+	s.iter++
+	avg := s.comm.AllreduceSum(iterTime) / float64(s.comm.Size())
+	d, err := s.ContactScheduler(avg, s.lastRedist)
+	if err != nil {
+		return Continue, err
+	}
+	switch d.Action {
+	case scheduler.ActionExpand:
+		if err := s.ExpandProcessors(d.Target); err != nil {
+			return Continue, err
+		}
+		return Continue, nil
+	case scheduler.ActionShrink:
+		return s.ShrinkProcessors(d.Target)
+	default:
+		s.lastRedist = 0
+		return Continue, nil
+	}
+}
+
+// childBootstrap carries everything a spawned rank needs to join the
+// application mid-flight.
+type childBootstrap struct {
+	jobID      int
+	iter       int
+	oldTopo    grid.Topology
+	newTopo    grid.Topology
+	arrayMeta  []Array // shapes only; Data nil
+	replicated map[string][]float64
+}
+
+// ExpandProcessors grows the processor set to target (advanced API,
+// Figure 1(b) expand path): spawn the additional ranks, merge into a single
+// intracommunicator, rebuild the grid context, and redistribute all
+// registered arrays. The spawned ranks run the session's worker after
+// bootstrapping. Collective over the current communicator.
+func (s *Session) ExpandProcessors(target grid.Topology) error {
+	k := target.Count() - s.topo.Count()
+	if k <= 0 {
+		return fmt.Errorf("resize: expand target %v not larger than current %v", target, s.topo)
+	}
+	start := time.Now()
+
+	var boot childBootstrap
+	if s.comm.Rank() == 0 {
+		boot = childBootstrap{
+			jobID:      s.jobID,
+			iter:       s.iter,
+			oldTopo:    s.topo,
+			newTopo:    target,
+			arrayMeta:  make([]Array, len(s.arrays)),
+			replicated: make(map[string][]float64, len(s.replicated)),
+		}
+		for i, a := range s.arrays {
+			boot.arrayMeta[i] = Array{Name: a.Name, M: a.M, N: a.N, MB: a.MB, NB: a.NB}
+		}
+		for name, data := range s.replicated {
+			cp := make([]float64, len(data))
+			copy(cp, data)
+			boot.replicated[name] = cp
+		}
+	}
+	client, worker := s.client, s.worker
+
+	ic := s.comm.Spawn(k, func(childIC *mpi.Intercomm) error {
+		merged := childIC.Merge()
+		// Children receive the bootstrap from rank 0 of the merged comm.
+		b := merged.Bcast(0, childBootstrap{}).(childBootstrap)
+		cs := &Session{
+			client:     client,
+			jobID:      b.jobID,
+			worker:     worker,
+			comm:       merged,
+			topo:       b.newTopo,
+			iter:       b.iter,
+			replicated: make(map[string][]float64, len(b.replicated)),
+		}
+		for name, data := range b.replicated {
+			cp := make([]float64, len(data))
+			copy(cp, data)
+			cs.replicated[name] = cp
+		}
+		for i := range b.arrayMeta {
+			m := b.arrayMeta[i]
+			cs.arrays = append(cs.arrays, &Array{Name: m.Name, M: m.M, N: m.N, MB: m.MB, NB: m.NB})
+		}
+		// Participate in the redistribution (receiving side only).
+		if err := redistributeAll(merged, cs.arrays, b.oldTopo, b.newTopo); err != nil {
+			return err
+		}
+		ctx, err := blacs.New(merged, b.newTopo)
+		if err != nil {
+			return err
+		}
+		cs.ctx = ctx
+		return worker(cs)
+	})
+
+	merged := ic.Merge()
+	// Rank 0 of the old comm is rank 0 of the merged comm: publish bootstrap.
+	merged.Bcast(0, boot)
+	if err := redistributeAll(merged, s.arrays, s.topo, target); err != nil {
+		return err
+	}
+	ctx, err := blacs.New(merged, target)
+	if err != nil {
+		return err
+	}
+	s.comm = merged
+	s.ctx = ctx
+	s.topo = target
+	s.lastRedist = time.Since(start).Seconds()
+	if s.comm.Rank() == 0 {
+		if err := s.client.ResizeComplete(s.jobID, s.lastRedist); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ShrinkProcessors reduces the processor set to target (advanced API,
+// Figure 1(b) shrink path): redistribute arrays to the surviving rank
+// prefix, carve the survivor sub-communicator, rebuild the context, and
+// retire the excess ranks (which receive Retired). Collective over the
+// current communicator.
+func (s *Session) ShrinkProcessors(target grid.Topology) (Status, error) {
+	if target.Count() >= s.topo.Count() {
+		return Continue, fmt.Errorf("resize: shrink target %v not smaller than current %v", target, s.topo)
+	}
+	start := time.Now()
+	if err := redistributeAll(s.comm, s.arrays, s.topo, target); err != nil {
+		return Continue, err
+	}
+	survivors := make([]int, target.Count())
+	for i := range survivors {
+		survivors[i] = i
+	}
+	sub := s.comm.Sub(survivors)
+	if sub == nil {
+		// This rank was shrunk away; it holds no data and must exit.
+		return Retired, nil
+	}
+	ctx, err := blacs.New(sub, target)
+	if err != nil {
+		return Continue, err
+	}
+	s.comm = sub
+	s.ctx = ctx
+	s.topo = target
+	s.lastRedist = time.Since(start).Seconds()
+	if s.comm.Rank() == 0 {
+		if err := s.client.ResizeComplete(s.jobID, s.lastRedist); err != nil {
+			return Continue, err
+		}
+	}
+	return Continue, nil
+}
+
+// redistributeAll moves every registered array from the old to the new
+// topology over comm, updating Data in place. Ranks outside the new grid
+// end with nil Data.
+func redistributeAll(comm *mpi.Comm, arrays []*Array, from, to grid.Topology) error {
+	for _, a := range arrays {
+		newData, err := redistrib.Redistribute(comm, a.LayoutFor(from), a.Data, a.LayoutFor(to))
+		if err != nil {
+			return fmt.Errorf("resize: redistribute %q: %w", a.Name, err)
+		}
+		a.Data = newData
+	}
+	return nil
+}
+
+// RedistributeAll is the advanced-API form of the paper's Redistribute
+// call: it moves the registered arrays between two explicit topologies on
+// the current communicator and records the elapsed redistribution time.
+func (s *Session) RedistributeAll(from, to grid.Topology) error {
+	start := time.Now()
+	if err := redistributeAll(s.comm, s.arrays, from, to); err != nil {
+		return err
+	}
+	s.lastRedist = time.Since(start).Seconds()
+	return nil
+}

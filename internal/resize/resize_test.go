@@ -1,0 +1,382 @@
+package resize
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/mpi"
+	"repro/internal/scheduler"
+)
+
+func topo(r, c int) grid.Topology { return grid.Topology{Rows: r, Cols: c} }
+
+// fillByGlobal populates an array's local data from global coordinates so
+// any rank can verify contents after redistribution.
+func fillByGlobal(s *Session, a *Array) {
+	l := a.LayoutFor(s.Topo())
+	rank := s.Comm().Rank()
+	pr, pc := l.Coords(rank)
+	rows, cols := l.LocalRows(pr), l.LocalCols(pc)
+	a.Data = make([]float64, rows*cols)
+	for li := 0; li < rows; li++ {
+		for lj := 0; lj < cols; lj++ {
+			gi, gj := l.LocalToGlobal(pr, pc, li, lj)
+			a.Data[li*cols+lj] = float64(gi*1000 + gj)
+		}
+	}
+}
+
+// verifyByGlobal checks every local element against the global formula.
+func verifyByGlobal(s *Session, a *Array) error {
+	l := a.LayoutFor(s.Topo())
+	rank := s.Comm().Rank()
+	pr, pc := l.Coords(rank)
+	rows, cols := l.LocalRows(pr), l.LocalCols(pc)
+	if len(a.Data) != rows*cols {
+		return fmt.Errorf("rank %d: %d floats, want %d", rank, len(a.Data), rows*cols)
+	}
+	for li := 0; li < rows; li++ {
+		for lj := 0; lj < cols; lj++ {
+			gi, gj := l.LocalToGlobal(pr, pc, li, lj)
+			if a.Data[li*cols+lj] != float64(gi*1000+gj) {
+				return fmt.Errorf("rank %d: (%d,%d) = %v", rank, gi, gj, a.Data[li*cols+lj])
+			}
+		}
+	}
+	return nil
+}
+
+// mutexClient makes ScriptedClient safe for the multi-goroutine Session
+// (only rank 0 calls, but expansion moves rank 0 across communicators).
+type mutexClient struct {
+	mu sync.Mutex
+	c  ScriptedClient
+}
+
+func (m *mutexClient) Contact(jobID int, t grid.Topology, iterTime, redistTime float64) (scheduler.Decision, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.c.Contact(jobID, t, iterTime, redistTime)
+}
+func (m *mutexClient) ResizeComplete(jobID int, redistTime float64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.c.ResizeComplete(jobID, redistTime)
+}
+func (m *mutexClient) JobEnd(jobID int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.c.JobEnd(jobID)
+}
+
+func TestSessionExpandSpawnsAndRedistributes(t *testing.T) {
+	client := &mutexClient{c: ScriptedClient{Script: []scheduler.Decision{
+		{Action: scheduler.ActionExpand, Target: topo(2, 2)},
+	}}}
+	const totalIters = 3
+	var workerRuns sync.Map
+
+	worker := func(s *Session) error {
+		for s.Iter() < totalIters {
+			a, _ := s.Array("A")
+			if err := verifyByGlobal(s, a); err != nil {
+				return err
+			}
+			workerRuns.Store(fmt.Sprintf("%v-%d-%d", s.Topo(), s.Comm().Rank(), s.Iter()), true)
+			st, err := s.Resize(0.01)
+			if err != nil {
+				return err
+			}
+			if st == Retired {
+				return nil
+			}
+		}
+		return s.Done()
+	}
+
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		s, err := NewSession(client, 1, c, topo(1, 2), worker)
+		if err != nil {
+			return err
+		}
+		a := &Array{Name: "A", M: 8, N: 8, MB: 2, NB: 2}
+		s.RegisterArray(a)
+		fillByGlobal(s, a)
+		return worker(s)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After the expansion all 4 ranks of the 2x2 grid must have iterated.
+	for rank := 0; rank < 4; rank++ {
+		key := fmt.Sprintf("%v-%d-%d", topo(2, 2), rank, 1)
+		if _, ok := workerRuns.Load(key); !ok {
+			t.Errorf("rank %d never iterated on the expanded grid", rank)
+		}
+	}
+	if !client.c.Ended {
+		t.Error("job end never reported")
+	}
+	if len(client.c.Completed) != 1 {
+		t.Errorf("ResizeComplete calls = %d, want 1", len(client.c.Completed))
+	}
+}
+
+func TestSessionShrinkRetiresRanks(t *testing.T) {
+	client := &mutexClient{c: ScriptedClient{Script: []scheduler.Decision{
+		{Action: scheduler.ActionShrink, Target: topo(1, 2)},
+	}}}
+	const totalIters = 3
+	var retired sync.Map
+
+	worker := func(s *Session) error {
+		for s.Iter() < totalIters {
+			a, _ := s.Array("A")
+			if err := verifyByGlobal(s, a); err != nil {
+				return err
+			}
+			st, err := s.Resize(0.01)
+			if err != nil {
+				return err
+			}
+			if st == Retired {
+				retired.Store(s.Comm().Rank(), true)
+				return nil
+			}
+		}
+		return s.Done()
+	}
+
+	err := mpi.Run(4, func(c *mpi.Comm) error {
+		s, err := NewSession(client, 2, c, topo(2, 2), worker)
+		if err != nil {
+			return err
+		}
+		a := &Array{Name: "A", M: 8, N: 8, MB: 2, NB: 2}
+		s.RegisterArray(a)
+		fillByGlobal(s, a)
+		return worker(s)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	retired.Range(func(k, v any) bool { count++; return true })
+	if count != 2 {
+		t.Errorf("%d ranks retired, want 2", count)
+	}
+	if !client.c.Ended {
+		t.Error("job end never reported")
+	}
+}
+
+func TestSessionExpandThenShrinkFigure3aPattern(t *testing.T) {
+	// The Figure 3(a) trajectory at miniature scale: grow 2 -> 4 -> 6, then
+	// shrink back to 4 after a failed expansion, holding data intact
+	// throughout.
+	client := &mutexClient{c: ScriptedClient{Script: []scheduler.Decision{
+		{Action: scheduler.ActionExpand, Target: topo(2, 2)},
+		{Action: scheduler.ActionExpand, Target: topo(2, 3)},
+		{Action: scheduler.ActionShrink, Target: topo(2, 2)},
+		{Action: scheduler.ActionNone},
+	}}}
+	const totalIters = 5
+
+	worker := func(s *Session) error {
+		for s.Iter() < totalIters {
+			a, _ := s.Array("A")
+			if err := verifyByGlobal(s, a); err != nil {
+				return fmt.Errorf("iter %d on %v: %w", s.Iter(), s.Topo(), err)
+			}
+			st, err := s.Resize(0.01)
+			if err != nil {
+				return err
+			}
+			if st == Retired {
+				return nil
+			}
+		}
+		if s.Topo() != topo(2, 2) {
+			return fmt.Errorf("final topology %v, want 2x2", s.Topo())
+		}
+		return s.Done()
+	}
+
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		s, err := NewSession(client, 3, c, topo(1, 2), worker)
+		if err != nil {
+			return err
+		}
+		a := &Array{Name: "A", M: 12, N: 12, MB: 2, NB: 2}
+		s.RegisterArray(a)
+		fillByGlobal(s, a)
+		return worker(s)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(client.c.Completed) != 3 {
+		t.Errorf("ResizeComplete calls = %d, want 3", len(client.c.Completed))
+	}
+}
+
+func TestSessionMultipleArraysAndReplicated(t *testing.T) {
+	client := &mutexClient{c: ScriptedClient{Script: []scheduler.Decision{
+		{Action: scheduler.ActionExpand, Target: topo(2, 2)},
+	}}}
+	worker := func(s *Session) error {
+		for s.Iter() < 2 {
+			for _, name := range []string{"A", "B"} {
+				a, ok := s.Array(name)
+				if !ok {
+					return fmt.Errorf("array %s missing", name)
+				}
+				if err := verifyByGlobal(s, a); err != nil {
+					return fmt.Errorf("%s: %w", name, err)
+				}
+			}
+			x := s.Replicated("x")
+			if len(x) != 3 || x[0] != 7 {
+				return fmt.Errorf("replicated x = %v on rank %d", x, s.Comm().Rank())
+			}
+			st, err := s.Resize(0.01)
+			if err != nil {
+				return err
+			}
+			if st == Retired {
+				return nil
+			}
+		}
+		return s.Done()
+	}
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		s, err := NewSession(client, 4, c, topo(1, 2), worker)
+		if err != nil {
+			return err
+		}
+		a := &Array{Name: "A", M: 8, N: 8, MB: 2, NB: 2}
+		b := &Array{Name: "B", M: 6, N: 4, MB: 2, NB: 2}
+		s.RegisterArray(a)
+		s.RegisterArray(b)
+		fillByGlobal(s, a)
+		fillByGlobal(s, b)
+		s.SetReplicated("x", []float64{7, 8, 9})
+		return worker(s)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionLogAveragesAcrossRanks(t *testing.T) {
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		s, err := NewSession(NullClient{}, 5, c, topo(1, 2), nil)
+		if err != nil {
+			return err
+		}
+		avg := s.Log(float64(c.Rank() + 1)) // times 1 and 2 -> avg 1.5
+		if avg != 1.5 {
+			return fmt.Errorf("avg %v", avg)
+		}
+		if c.Rank() == 0 {
+			recs := s.LogRecords()
+			if len(recs) != 1 || recs[0].AvgTime != 1.5 {
+				return fmt.Errorf("records %v", recs)
+			}
+		} else if len(s.LogRecords()) != 0 {
+			return fmt.Errorf("non-root rank has log records")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionNullClientNeverResizes(t *testing.T) {
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		s, err := NewSession(NullClient{}, 6, c, topo(1, 2), nil)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 3; i++ {
+			st, err := s.Resize(0.01)
+			if err != nil {
+				return err
+			}
+			if st != Continue || s.Topo() != topo(1, 2) {
+				return fmt.Errorf("null client resized to %v", s.Topo())
+			}
+		}
+		if s.Iter() != 3 {
+			return fmt.Errorf("iter %d", s.Iter())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpandValidatesTarget(t *testing.T) {
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		s, err := NewSession(NullClient{}, 7, c, topo(1, 2), nil)
+		if err != nil {
+			return err
+		}
+		if err := s.ExpandProcessors(topo(1, 2)); err == nil {
+			return fmt.Errorf("non-growing expand accepted")
+		}
+		if _, err := s.ShrinkProcessors(topo(2, 2)); err == nil {
+			return fmt.Errorf("non-shrinking shrink accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepeatedExpansionGrowsChain(t *testing.T) {
+	// 1 -> 2 -> 4 -> 6 ranks across three expansions, data verified at each.
+	client := &mutexClient{c: ScriptedClient{Script: []scheduler.Decision{
+		{Action: scheduler.ActionExpand, Target: topo(1, 2)},
+		{Action: scheduler.ActionExpand, Target: topo(2, 2)},
+		{Action: scheduler.ActionExpand, Target: topo(2, 3)},
+	}}}
+	const totalIters = 5
+	worker := func(s *Session) error {
+		for s.Iter() < totalIters {
+			a, _ := s.Array("A")
+			if err := verifyByGlobal(s, a); err != nil {
+				return fmt.Errorf("on %v: %w", s.Topo(), err)
+			}
+			st, err := s.Resize(0.01)
+			if err != nil {
+				return err
+			}
+			if st == Retired {
+				return nil
+			}
+		}
+		if s.Comm().Size() != 6 {
+			return fmt.Errorf("final comm size %d", s.Comm().Size())
+		}
+		return s.Done()
+	}
+	err := mpi.Run(1, func(c *mpi.Comm) error {
+		s, err := NewSession(client, 8, c, topo(1, 1), worker)
+		if err != nil {
+			return err
+		}
+		a := &Array{Name: "A", M: 12, N: 12, MB: 2, NB: 2}
+		s.RegisterArray(a)
+		fillByGlobal(s, a)
+		return worker(s)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,231 @@
+// Package rpc exposes the ReSHAPE scheduler over TCP so applications and
+// command-line tools can talk to a reshaped daemon. The wire protocol is
+// one gob-encoded request and one gob-encoded response per connection —
+// deliberately simple, stateless and dependency-free.
+package rpc
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/grid"
+	"repro/internal/scheduler"
+)
+
+// Op selects the remote operation.
+type Op string
+
+// Remote operations.
+const (
+	OpSubmit         Op = "submit"
+	OpContact        Op = "contact"
+	OpResizeComplete Op = "resize-complete"
+	OpJobEnd         Op = "job-end"
+	OpWait           Op = "wait"
+	OpStatus         Op = "status"
+)
+
+// Request is the single wire request envelope.
+type Request struct {
+	Op         Op
+	JobID      int
+	Topo       grid.Topology
+	IterTime   float64
+	RedistTime float64
+	Spec       scheduler.JobSpec
+}
+
+// JobInfo is a job snapshot for status replies.
+type JobInfo struct {
+	ID     int
+	Name   string
+	State  string
+	Topo   grid.Topology
+	Submit float64
+	Start  float64
+	End    float64
+}
+
+// Response is the single wire response envelope.
+type Response struct {
+	Err      string
+	JobID    int
+	Decision scheduler.Decision
+	Jobs     []JobInfo
+	Events   []scheduler.AllocEvent
+	Free     int
+	Total    int
+}
+
+// Server serves scheduler requests over TCP.
+type Server struct {
+	sched *scheduler.Server
+	ln    net.Listener
+	wg    sync.WaitGroup
+	mu    sync.Mutex
+	done  bool
+}
+
+// Serve starts listening on addr (e.g. "127.0.0.1:7077"; port 0 picks a
+// free port). The returned server is already accepting.
+func Serve(addr string, sched *scheduler.Server) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: listen %s: %w", addr, err)
+	}
+	s := &Server{sched: sched, ln: ln}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting and waits for in-flight requests.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.done = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			done := s.done
+			s.mu.Unlock()
+			if done {
+				return
+			}
+			continue
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	var req Request
+	if err := gob.NewDecoder(conn).Decode(&req); err != nil {
+		return
+	}
+	resp := s.dispatch(req)
+	_ = gob.NewEncoder(conn).Encode(resp)
+}
+
+func (s *Server) dispatch(req Request) Response {
+	switch req.Op {
+	case OpSubmit:
+		job, err := s.sched.Submit(req.Spec)
+		if err != nil {
+			return Response{Err: err.Error()}
+		}
+		return Response{JobID: job.ID}
+	case OpContact:
+		d, err := s.sched.Contact(req.JobID, req.Topo, req.IterTime, req.RedistTime)
+		if err != nil {
+			return Response{Err: err.Error()}
+		}
+		return Response{Decision: d}
+	case OpResizeComplete:
+		if err := s.sched.ResizeComplete(req.JobID, req.RedistTime); err != nil {
+			return Response{Err: err.Error()}
+		}
+		return Response{}
+	case OpJobEnd:
+		if err := s.sched.JobEnd(req.JobID); err != nil {
+			return Response{Err: err.Error()}
+		}
+		return Response{}
+	case OpWait:
+		s.sched.Wait(req.JobID)
+		return Response{}
+	case OpStatus:
+		core := s.sched.Core()
+		resp := Response{Free: core.Free(), Total: core.Total, Events: core.Events}
+		for _, j := range core.Jobs() {
+			resp.Jobs = append(resp.Jobs, JobInfo{
+				ID: j.ID, Name: j.Spec.Name, State: j.State.String(), Topo: j.Topo,
+				Submit: j.SubmitTime, Start: j.StartTime, End: j.EndTime,
+			})
+		}
+		return resp
+	default:
+		return Response{Err: fmt.Sprintf("rpc: unknown op %q", req.Op)}
+	}
+}
+
+// Client talks to a reshaped daemon. It implements resize.Client, so
+// applications can use a remote scheduler transparently.
+type Client struct {
+	Addr string
+}
+
+// call performs one request/response round trip.
+func (c *Client) call(req Request) (Response, error) {
+	conn, err := net.Dial("tcp", c.Addr)
+	if err != nil {
+		return Response{}, fmt.Errorf("rpc: dial %s: %w", c.Addr, err)
+	}
+	defer conn.Close()
+	if err := gob.NewEncoder(conn).Encode(req); err != nil {
+		return Response{}, fmt.Errorf("rpc: encode: %w", err)
+	}
+	var resp Response
+	if err := gob.NewDecoder(conn).Decode(&resp); err != nil {
+		return Response{}, fmt.Errorf("rpc: decode: %w", err)
+	}
+	if resp.Err != "" {
+		return resp, fmt.Errorf("rpc: server: %s", resp.Err)
+	}
+	return resp, nil
+}
+
+// Submit enqueues a job and returns its id.
+func (c *Client) Submit(spec scheduler.JobSpec) (int, error) {
+	resp, err := c.call(Request{Op: OpSubmit, Spec: spec})
+	return resp.JobID, err
+}
+
+// Contact implements resize.Client.
+func (c *Client) Contact(jobID int, topo grid.Topology, iterTime, redistTime float64) (scheduler.Decision, error) {
+	resp, err := c.call(Request{
+		Op: OpContact, JobID: jobID, Topo: topo, IterTime: iterTime, RedistTime: redistTime,
+	})
+	return resp.Decision, err
+}
+
+// ResizeComplete implements resize.Client.
+func (c *Client) ResizeComplete(jobID int, redistTime float64) error {
+	_, err := c.call(Request{Op: OpResizeComplete, JobID: jobID, RedistTime: redistTime})
+	return err
+}
+
+// JobEnd implements resize.Client.
+func (c *Client) JobEnd(jobID int) error {
+	_, err := c.call(Request{Op: OpJobEnd, JobID: jobID})
+	return err
+}
+
+// Wait blocks until a job completes.
+func (c *Client) Wait(jobID int) error {
+	_, err := c.call(Request{Op: OpWait, JobID: jobID})
+	return err
+}
+
+// Status fetches the scheduler snapshot.
+func (c *Client) Status() (Response, error) {
+	return c.call(Request{Op: OpStatus})
+}

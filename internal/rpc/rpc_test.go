@@ -1,0 +1,167 @@
+package rpc
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/grid"
+	"repro/internal/scheduler"
+)
+
+func topo(r, c int) grid.Topology { return grid.Topology{Rows: r, Cols: c} }
+
+func TestRoundTripOverTCP(t *testing.T) {
+	sched := scheduler.NewServer(8, true, nil)
+	srv, err := Serve("127.0.0.1:0", sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl := &Client{Addr: srv.Addr()}
+
+	id, err := cl.Submit(scheduler.JobSpec{
+		Name: "lu", App: "lu", ProblemSize: 12000, Iterations: 10,
+		InitialTopo: topo(1, 2),
+		Chain:       grid.GrowthChain(topo(1, 2), 12000, 8),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d, err := cl.Contact(id, topo(1, 2), 129.63, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Action != scheduler.ActionExpand || d.Target != topo(2, 2) {
+		t.Fatalf("decision %+v", d)
+	}
+	if err := cl.ResizeComplete(id, 8.0); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := cl.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Total != 8 || st.Free != 4 {
+		t.Fatalf("status total/free = %d/%d", st.Total, st.Free)
+	}
+	if len(st.Jobs) != 1 || st.Jobs[0].State != "running" {
+		t.Fatalf("jobs %+v", st.Jobs)
+	}
+
+	if err := cl.JobEnd(id); err != nil {
+		t.Fatal(err)
+	}
+	st, err = cl.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Free != 8 {
+		t.Fatalf("free = %d after end", st.Free)
+	}
+}
+
+func TestServerReportsErrors(t *testing.T) {
+	sched := scheduler.NewServer(4, false, nil)
+	srv, err := Serve("127.0.0.1:0", sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl := &Client{Addr: srv.Addr()}
+
+	if _, err := cl.Contact(99, topo(1, 1), 1, 0); err == nil {
+		t.Error("contact for unknown job should fail")
+	}
+	if _, err := cl.Submit(scheduler.JobSpec{Name: "big", InitialTopo: topo(4, 4)}); err == nil {
+		t.Error("oversized job should fail")
+	}
+}
+
+func TestClientDialFailure(t *testing.T) {
+	cl := &Client{Addr: "127.0.0.1:1"} // almost certainly closed
+	if _, err := cl.Status(); err == nil {
+		t.Error("expected dial error")
+	}
+}
+
+func TestWaitBlocksUntilJobEnd(t *testing.T) {
+	sched := scheduler.NewServer(4, false, nil)
+	srv, err := Serve("127.0.0.1:0", sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl := &Client{Addr: srv.Addr()}
+	id, err := cl.Submit(scheduler.JobSpec{
+		Name: "j", App: "mw", Iterations: 1,
+		InitialTopo: grid.Row1D(2), Chain: []grid.Topology{grid.Row1D(2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cl.Wait(id) }()
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case <-done:
+		t.Fatal("Wait returned before JobEnd")
+	default:
+	}
+	if err := cl.JobEnd(id); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait never returned")
+	}
+}
+
+func TestRemoteSchedulerDrivesRealApp(t *testing.T) {
+	// End-to-end over TCP: a real application resized by a remote daemon.
+	var launched = make(chan int, 4)
+	var sched *scheduler.Server
+	var cl *Client
+	sched = scheduler.NewServer(4, true, func(j *scheduler.Job) {
+		launched <- j.ID
+		cfg := apps.Config{App: "lu", N: 8, NB: 2, Iterations: 3}
+		if err := apps.Launch(cl, j.ID, j.Topo, cfg); err != nil {
+			t.Errorf("launch: %v", err)
+			_ = cl.JobEnd(j.ID)
+		}
+	})
+	srv, err := Serve("127.0.0.1:0", sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl = &Client{Addr: srv.Addr()}
+
+	id, err := cl.Submit(scheduler.JobSpec{
+		Name: "lu", App: "lu", ProblemSize: 8, Iterations: 3,
+		InitialTopo: topo(1, 2),
+		Chain:       grid.GrowthChain(topo(1, 2), 8, 4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Wait(id); err != nil {
+		t.Fatal(err)
+	}
+	st, err := cl.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Free != 4 {
+		t.Errorf("free = %d", st.Free)
+	}
+	if st.Jobs[0].State != "done" {
+		t.Errorf("state %v", st.Jobs[0].State)
+	}
+}

@@ -1,0 +1,319 @@
+package scheduler
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+)
+
+// JobState tracks a job through the scheduler.
+type JobState int
+
+const (
+	// Queued jobs wait for processors.
+	Queued JobState = iota
+	// Running jobs hold processors.
+	Running
+	// Done jobs have finished and released their processors.
+	Done
+)
+
+// String names the state.
+func (s JobState) String() string {
+	switch s {
+	case Queued:
+		return "queued"
+	case Running:
+		return "running"
+	default:
+		return "done"
+	}
+}
+
+// JobSpec describes a submitted application.
+type JobSpec struct {
+	Name        string
+	App         string // application kind, e.g. "lu", "mm", "jacobi", "fft", "mw"
+	ProblemSize int
+	// BlockSize is the block-cyclic block dimension used when the job is
+	// executed on the real runtime (ignored by the simulator).
+	BlockSize  int
+	Iterations int
+	// Priority orders the queue: higher-priority jobs are scheduled first
+	// (FCFS among equals). The default 0 reproduces plain FCFS.
+	Priority    int
+	InitialTopo grid.Topology
+	// Chain is the job's legal configuration ladder in ascending processor
+	// count (the paper's Table 2 row for this problem size).
+	Chain []grid.Topology
+}
+
+// Job is the scheduler's view of one application.
+type Job struct {
+	ID      int
+	Spec    JobSpec
+	State   JobState
+	Topo    grid.Topology
+	Profile *Profile
+
+	SubmitTime float64
+	StartTime  float64
+	EndTime    float64
+
+	// pendingFree holds processors granted back by an in-flight shrink,
+	// released when ResizeComplete arrives.
+	pendingFree int
+	// resizeFrom remembers the pre-resize configuration for profiling.
+	resizeFrom grid.Topology
+}
+
+// AllocEvent is one allocation change, forming the processor-allocation
+// history of Figures 4(a)/5(a) and the busy-processor series of 4(b)/5(b).
+type AllocEvent struct {
+	Time  float64
+	JobID int
+	Job   string
+	Kind  string // "submit", "start", "expand", "shrink", "end"
+	Topo  grid.Topology
+	Busy  int // busy processors immediately after the event
+}
+
+// Core is the passive scheduler state machine: clock-independent (every
+// mutation takes an explicit timestamp) so the same policy code drives both
+// the real runtime and the virtual-time cluster simulation.
+type Core struct {
+	Total    int
+	Backfill bool
+	// Policy is the Remap Scheduler strategy; defaults to PaperPolicy.
+	Policy Policy
+
+	free   int
+	nextID int
+	queue  []*Job
+	jobs   map[int]*Job
+
+	Events []AllocEvent
+}
+
+// NewCore creates a scheduler for a cluster with total processors, using
+// the published Remap Scheduler policy.
+func NewCore(total int, backfill bool) *Core {
+	return &Core{Total: total, Backfill: backfill, Policy: PaperPolicy{},
+		free: total, jobs: make(map[int]*Job)}
+}
+
+// Free returns the number of idle processors.
+func (c *Core) Free() int { return c.free }
+
+// Busy returns the number of allocated processors.
+func (c *Core) Busy() int { return c.Total - c.free }
+
+// QueueLen returns the number of waiting jobs.
+func (c *Core) QueueLen() int { return len(c.queue) }
+
+// Job looks up a job by id.
+func (c *Core) Job(id int) (*Job, bool) {
+	j, ok := c.jobs[id]
+	return j, ok
+}
+
+// Jobs returns all jobs in submission order.
+func (c *Core) Jobs() []*Job {
+	out := make([]*Job, 0, len(c.jobs))
+	for id := 0; id < c.nextID; id++ {
+		if j, ok := c.jobs[id]; ok {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+func (c *Core) record(now float64, j *Job, kind string) {
+	c.Events = append(c.Events, AllocEvent{
+		Time: now, JobID: j.ID, Job: j.Spec.Name, Kind: kind, Topo: j.Topo, Busy: c.Busy(),
+	})
+}
+
+// Submit enqueues a job and immediately tries to schedule the queue. It
+// returns the job and any jobs started as a consequence (possibly including
+// the submitted one).
+func (c *Core) Submit(spec JobSpec, now float64) (*Job, []*Job, error) {
+	if !spec.InitialTopo.IsValid() {
+		return nil, nil, fmt.Errorf("scheduler: job %q has invalid initial topology", spec.Name)
+	}
+	if spec.InitialTopo.Count() > c.Total {
+		return nil, nil, fmt.Errorf("scheduler: job %q needs %d processors, cluster has %d",
+			spec.Name, spec.InitialTopo.Count(), c.Total)
+	}
+	j := &Job{
+		ID:         c.nextID,
+		Spec:       spec,
+		State:      Queued,
+		Topo:       spec.InitialTopo,
+		Profile:    NewProfile(),
+		SubmitTime: now,
+	}
+	c.nextID++
+	c.jobs[j.ID] = j
+	// Priority insertion: higher priority first, FCFS among equals.
+	pos := len(c.queue)
+	for i, q := range c.queue {
+		if j.Spec.Priority > q.Spec.Priority {
+			pos = i
+			break
+		}
+	}
+	c.queue = append(c.queue, nil)
+	copy(c.queue[pos+1:], c.queue[pos:])
+	c.queue[pos] = j
+	c.record(now, j, "submit")
+	started := c.TrySchedule(now)
+	return j, started, nil
+}
+
+// TrySchedule starts queued jobs under FCFS order, optionally backfilling
+// later jobs that fit when the head does not. It returns the started jobs.
+func (c *Core) TrySchedule(now float64) []*Job {
+	var started []*Job
+	for len(c.queue) > 0 {
+		head := c.queue[0]
+		if head.Spec.InitialTopo.Count() > c.free {
+			break
+		}
+		c.start(head, now)
+		c.queue = c.queue[1:]
+		started = append(started, head)
+	}
+	if c.Backfill {
+		kept := c.queue[:0]
+		for _, j := range c.queue {
+			if j.Spec.InitialTopo.Count() <= c.free {
+				c.start(j, now)
+				started = append(started, j)
+			} else {
+				kept = append(kept, j)
+			}
+		}
+		c.queue = kept
+	}
+	return started
+}
+
+func (c *Core) start(j *Job, now float64) {
+	j.State = Running
+	j.StartTime = now
+	j.Topo = j.Spec.InitialTopo
+	c.free -= j.Topo.Count()
+	c.record(now, j, "start")
+}
+
+// queuedNeeds lists the processor requirements of waiting jobs in order.
+func (c *Core) queuedNeeds() []int {
+	needs := make([]int, len(c.queue))
+	for i, j := range c.queue {
+		needs[i] = j.Spec.InitialTopo.Count()
+	}
+	return needs
+}
+
+// Contact is the Remap Scheduler entry point: a running job reports its
+// latest iteration time (and the redistribution time of its previous
+// resize, if any) from a resize point, and receives the expand/shrink/none
+// decision. Expansion reserves the additional processors immediately;
+// shrinking releases processors only when the resize library confirms with
+// ResizeComplete.
+func (c *Core) Contact(jobID int, topo grid.Topology, iterTime, redistTime float64, now float64) (Decision, error) {
+	j, ok := c.jobs[jobID]
+	if !ok {
+		return Decision{}, fmt.Errorf("scheduler: unknown job %d", jobID)
+	}
+	if j.State != Running {
+		return Decision{}, fmt.Errorf("scheduler: job %d contacted while %v", jobID, j.State)
+	}
+	if topo != j.Topo {
+		return Decision{}, fmt.Errorf("scheduler: job %d reports topology %v, scheduler has %v",
+			jobID, topo, j.Topo)
+	}
+	j.Profile.RecordIteration(j.Topo, iterTime)
+
+	done := 0
+	for _, v := range j.Profile.Visits {
+		done += len(v.IterTimes)
+	}
+	pol := c.Policy
+	if pol == nil {
+		pol = PaperPolicy{}
+	}
+	d := pol.Decide(RemapInput{
+		Current:        j.Topo,
+		Chain:          j.Spec.Chain,
+		Profile:        j.Profile,
+		IdleProcs:      c.free,
+		QueuedNeeds:    c.queuedNeeds(),
+		RemainingIters: j.Spec.Iterations - done,
+	})
+	switch d.Action {
+	case ActionExpand:
+		delta := d.Target.Count() - j.Topo.Count()
+		c.free -= delta
+		j.resizeFrom = j.Topo
+		j.Topo = d.Target
+		c.record(now, j, "expand")
+	case ActionShrink:
+		j.pendingFree += j.Topo.Count() - d.Target.Count()
+		j.resizeFrom = j.Topo
+		j.Topo = d.Target
+		c.record(now, j, "shrink")
+	}
+	return d, nil
+}
+
+// ResizeComplete confirms that a granted resize finished: the redistribution
+// cost is recorded in the profiler and, for shrinks, the freed processors
+// return to the pool and queued jobs are scheduled onto them. It returns any
+// jobs started as a result.
+func (c *Core) ResizeComplete(jobID int, redistTime float64, now float64) ([]*Job, error) {
+	j, ok := c.jobs[jobID]
+	if !ok {
+		return nil, fmt.Errorf("scheduler: unknown job %d", jobID)
+	}
+	if j.resizeFrom.IsValid() {
+		j.Profile.RecordRedist(j.resizeFrom, j.Topo, redistTime)
+		j.resizeFrom = grid.Topology{}
+	}
+	if j.pendingFree > 0 {
+		c.free += j.pendingFree
+		j.pendingFree = 0
+		return c.TrySchedule(now), nil
+	}
+	return nil, nil
+}
+
+// Finish marks a job done (the System Monitor's job-end signal), releases
+// its processors and schedules waiting jobs. It returns any jobs started.
+func (c *Core) Finish(jobID int, now float64) ([]*Job, error) {
+	return c.complete(jobID, now, "end")
+}
+
+// Fail handles the System Monitor's job-error signal: the job is deleted
+// and its resources recovered, exactly like normal completion except for
+// the recorded event kind.
+func (c *Core) Fail(jobID int, now float64) ([]*Job, error) {
+	return c.complete(jobID, now, "error")
+}
+
+func (c *Core) complete(jobID int, now float64, kind string) ([]*Job, error) {
+	j, ok := c.jobs[jobID]
+	if !ok {
+		return nil, fmt.Errorf("scheduler: unknown job %d", jobID)
+	}
+	if j.State != Running {
+		return nil, fmt.Errorf("scheduler: job %d completed (%s) while %v", jobID, kind, j.State)
+	}
+	j.State = Done
+	j.EndTime = now
+	c.free += j.Topo.Count() + j.pendingFree
+	j.pendingFree = 0
+	c.record(now, j, kind)
+	return c.TrySchedule(now), nil
+}

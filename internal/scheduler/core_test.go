@@ -1,0 +1,279 @@
+package scheduler
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/grid"
+)
+
+func spec(name string, initial grid.Topology, n int) JobSpec {
+	return JobSpec{
+		Name:        name,
+		App:         "lu",
+		ProblemSize: n,
+		Iterations:  10,
+		InitialTopo: initial,
+		Chain:       grid.GrowthChain(initial, n, 50),
+	}
+}
+
+func TestCoreStartsJobWhenProcsAvailable(t *testing.T) {
+	c := NewCore(16, false)
+	j, started, err := c.Submit(spec("a", topo(2, 2), 8000), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(started) != 1 || started[0] != j || j.State != Running {
+		t.Fatalf("job not started: %v %v", started, j.State)
+	}
+	if c.Free() != 12 {
+		t.Fatalf("free = %d", c.Free())
+	}
+}
+
+func TestCoreQueuesWhenFull(t *testing.T) {
+	c := NewCore(8, false)
+	_, _, err := c.Submit(spec("a", topo(2, 4), 8000), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, started, err := c.Submit(spec("b", topo(2, 2), 8000), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(started) != 0 || b.State != Queued {
+		t.Fatalf("job b should queue: %v %v", started, b.State)
+	}
+	if c.QueueLen() != 1 {
+		t.Fatalf("queue len %d", c.QueueLen())
+	}
+}
+
+func TestCoreRejectsOversizedJob(t *testing.T) {
+	c := NewCore(4, false)
+	if _, _, err := c.Submit(spec("big", topo(4, 4), 8000), 0); err == nil {
+		t.Fatal("oversized job accepted")
+	}
+	if _, _, err := c.Submit(JobSpec{Name: "bad"}, 0); err == nil {
+		t.Fatal("invalid topology accepted")
+	}
+}
+
+func TestCoreFCFSBlocksLaterJobsWithoutBackfill(t *testing.T) {
+	c := NewCore(10, false)
+	c.Submit(spec("a", topo(2, 4), 8000), 0)                      // takes 8, 2 free
+	c.Submit(spec("big", topo(2, 3), 12000), 1)                   // needs 6: queues
+	small, started, _ := c.Submit(spec("s", topo(1, 2), 8000), 2) // needs 2: would fit
+	if len(started) != 0 || small.State != Queued {
+		t.Fatal("FCFS must not let the small job jump the queue")
+	}
+}
+
+func TestCoreBackfillStartsSmallJob(t *testing.T) {
+	c := NewCore(10, true)
+	c.Submit(spec("a", topo(2, 4), 8000), 0)    // 8 busy, 2 free
+	c.Submit(spec("big", topo(2, 3), 12000), 1) // queues (needs 6)
+	small, started, _ := c.Submit(spec("s", topo(1, 2), 8000), 2)
+	if len(started) != 1 || small.State != Running {
+		t.Fatal("backfill should start the 2-proc job")
+	}
+	if c.Free() != 0 {
+		t.Fatalf("free = %d", c.Free())
+	}
+}
+
+func TestCoreFinishSchedulesQueue(t *testing.T) {
+	c := NewCore(8, false)
+	a, _, _ := c.Submit(spec("a", topo(2, 4), 8000), 0)
+	b, _, _ := c.Submit(spec("b", topo(2, 2), 8000), 1)
+	started, err := c.Finish(a.ID, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(started) != 1 || started[0] != b || b.State != Running {
+		t.Fatal("queued job must start when processors free up")
+	}
+	if a.EndTime != 100 || a.State != Done {
+		t.Fatalf("job a end state %v/%v", a.State, a.EndTime)
+	}
+}
+
+func TestCoreContactExpandReservesProcs(t *testing.T) {
+	c := NewCore(16, false)
+	a, _, _ := c.Submit(spec("a", topo(1, 2), 12000), 0)
+	d, err := c.Contact(a.ID, topo(1, 2), 129.63, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Action != ActionExpand || d.Target != topo(2, 2) {
+		t.Fatalf("decision %+v", d)
+	}
+	if c.Free() != 12 || a.Topo != topo(2, 2) {
+		t.Fatalf("free %d topo %v", c.Free(), a.Topo)
+	}
+	// Expansion improved: next contact expands again.
+	if _, err := c.ResizeComplete(a.ID, 8.0, 11); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := c.Contact(a.ID, topo(2, 2), 112.52, 8.0, 140)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Action != ActionExpand || d2.Target != topo(2, 3) {
+		t.Fatalf("second decision %+v", d2)
+	}
+	if v, ok := a.Profile.RedistCost(topo(1, 2), topo(2, 2)); !ok || v != 8.0 {
+		t.Fatalf("redist record %v/%v", v, ok)
+	}
+}
+
+func TestCoreContactValidatesCaller(t *testing.T) {
+	c := NewCore(16, false)
+	a, _, _ := c.Submit(spec("a", topo(2, 2), 8000), 0)
+	if _, err := c.Contact(99, topo(2, 2), 1, 0, 1); err == nil {
+		t.Fatal("unknown job accepted")
+	}
+	if _, err := c.Contact(a.ID, topo(4, 4), 1, 0, 1); err == nil {
+		t.Fatal("topology mismatch accepted")
+	}
+	c.Finish(a.ID, 2)
+	if _, err := c.Contact(a.ID, topo(2, 2), 1, 0, 3); err == nil {
+		t.Fatal("contact from finished job accepted")
+	}
+}
+
+func TestCoreShrinkFreesProcsOnlyAtResizeComplete(t *testing.T) {
+	c := NewCore(12, false)
+	a, _, _ := c.Submit(spec("a", topo(1, 2), 12000), 0)
+	// Walk the job up to 3x3 so it has shrink points.
+	c.Contact(a.ID, topo(1, 2), 130, 0, 1)
+	c.ResizeComplete(a.ID, 8, 1)
+	c.Contact(a.ID, topo(2, 2), 112, 8, 2)
+	c.ResizeComplete(a.ID, 7, 2)
+	c.Contact(a.ID, topo(2, 3), 82, 7, 3)
+	c.ResizeComplete(a.ID, 5, 3)
+	if a.Topo != topo(3, 3) {
+		t.Fatalf("topo %v", a.Topo)
+	}
+	// A queued job arrives needing 4 procs; 3 are idle.
+	b, started, _ := c.Submit(spec("b", topo(2, 2), 8000), 4)
+	if len(started) != 0 {
+		t.Fatal("b should queue (needs 4, only 3 idle)")
+	}
+	d, err := c.Contact(a.ID, topo(3, 3), 79, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Action != ActionShrink {
+		t.Fatalf("decision %+v, want shrink", d)
+	}
+	if b.State != Queued {
+		t.Fatal("b must not start before the shrink completes")
+	}
+	started, err = c.ResizeComplete(a.ID, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(started) != 1 || started[0] != b || b.State != Running {
+		t.Fatal("b must start once the shrink completes")
+	}
+}
+
+func TestCoreEventsTraceAllocationHistory(t *testing.T) {
+	c := NewCore(8, false)
+	a, _, _ := c.Submit(spec("a", topo(1, 2), 12000), 0)
+	c.Contact(a.ID, topo(1, 2), 130, 0, 10)
+	c.ResizeComplete(a.ID, 8, 10)
+	c.Finish(a.ID, 50)
+	kinds := make([]string, len(c.Events))
+	for i, e := range c.Events {
+		kinds[i] = e.Kind
+	}
+	want := []string{"submit", "start", "expand", "end"}
+	if len(kinds) != len(want) {
+		t.Fatalf("events %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("events %v, want %v", kinds, want)
+		}
+	}
+	if c.Events[2].Busy != 4 {
+		t.Fatalf("busy after expand = %d", c.Events[2].Busy)
+	}
+	if c.Events[3].Busy != 0 {
+		t.Fatalf("busy after end = %d", c.Events[3].Busy)
+	}
+}
+
+func TestCoreJobsOrdered(t *testing.T) {
+	c := NewCore(50, false)
+	c.Submit(spec("a", topo(2, 2), 8000), 0)
+	c.Submit(spec("b", topo(2, 2), 8000), 1)
+	c.Submit(spec("c", topo(2, 2), 8000), 2)
+	jobs := c.Jobs()
+	if len(jobs) != 3 || jobs[0].Spec.Name != "a" || jobs[2].Spec.Name != "c" {
+		t.Fatalf("jobs %v", jobs)
+	}
+}
+
+func TestServerLifecycleWithStarter(t *testing.T) {
+	var mu sync.Mutex
+	startedNames := []string{}
+	var srv *Server
+	srv = NewServer(8, true, func(j *Job) {
+		mu.Lock()
+		startedNames = append(startedNames, j.Spec.Name)
+		mu.Unlock()
+		// Simulate a short run with one resize point.
+		if _, err := srv.Contact(j.ID, j.Topo, 0.01, 0); err != nil {
+			t.Errorf("contact: %v", err)
+		}
+		if err := srv.ResizeComplete(j.ID, 0.001); err != nil {
+			t.Errorf("resize complete: %v", err)
+		}
+		if err := srv.JobEnd(j.ID); err != nil {
+			t.Errorf("job end: %v", err)
+		}
+	})
+	a, err := srv.Submit(spec("a", topo(2, 4), 8000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := srv.Submit(spec("b", topo(2, 2), 8000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Wait(a.ID)
+	srv.Wait(b.ID)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(startedNames) != 2 {
+		t.Fatalf("started %v", startedNames)
+	}
+	if srv.Core().Free() != 8 {
+		t.Fatalf("free = %d after all jobs done", srv.Core().Free())
+	}
+}
+
+func TestServerWaitAll(t *testing.T) {
+	var srv *Server
+	srv = NewServer(4, false, func(j *Job) {
+		time.Sleep(time.Millisecond)
+		srv.JobEnd(j.ID)
+	})
+	for i := 0; i < 3; i++ {
+		if _, err := srv.Submit(spec("j", topo(1, 2), 8000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan struct{})
+	go func() { srv.WaitAll(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitAll timed out")
+	}
+}

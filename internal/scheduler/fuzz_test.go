@@ -1,0 +1,150 @@
+package scheduler
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+// TestCoreInvariantsUnderRandomOperations drives the scheduler with random
+// but legal operation sequences and checks the resource-accounting
+// invariants after every step:
+//
+//   - 0 <= free <= total
+//   - free + sum of running jobs' allocations (+ pending shrink returns)
+//     == total
+//   - a queued job is never larger than the cluster
+//   - events carry monotonically non-decreasing timestamps
+func TestCoreInvariantsUnderRandomOperations(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		total := 8 + rng.Intn(48)
+		c := NewCore(total, rng.Intn(2) == 0)
+		now := 0.0
+		var running []*Job
+
+		check := func(step string) {
+			t.Helper()
+			if c.Free() < 0 || c.Free() > c.Total {
+				t.Fatalf("seed %d %s: free %d out of [0,%d]", seed, step, c.Free(), c.Total)
+			}
+			held := 0
+			for _, j := range c.Jobs() {
+				if j.State == Running {
+					held += j.Topo.Count() + j.pendingFree
+				}
+			}
+			if held+c.Free() != c.Total {
+				t.Fatalf("seed %d %s: held %d + free %d != total %d",
+					seed, step, held, c.Free(), c.Total)
+			}
+		}
+
+		refreshRunning := func() {
+			running = running[:0]
+			for _, j := range c.Jobs() {
+				if j.State == Running {
+					running = append(running, j)
+				}
+			}
+		}
+
+		for op := 0; op < 300; op++ {
+			now += rng.Float64() * 10
+			refreshRunning()
+			switch rng.Intn(4) {
+			case 0: // submit
+				n := []int{8000, 12000, 14000, 21000}[rng.Intn(4)]
+				start, ok := grid.SmallestConfig(n, 2+rng.Intn(4), total)
+				if !ok {
+					continue
+				}
+				sp := JobSpec{
+					Name: "j", App: "lu", ProblemSize: n,
+					Iterations:  1 << 30, // never finishes on its own
+					Priority:    rng.Intn(3),
+					InitialTopo: start,
+					Chain:       grid.GrowthChain(start, n, total),
+				}
+				if _, _, err := c.Submit(sp, now); err != nil {
+					t.Fatalf("seed %d: submit: %v", seed, err)
+				}
+			case 1: // contact from a random running job
+				if len(running) == 0 {
+					continue
+				}
+				j := running[rng.Intn(len(running))]
+				iter := 10 + rng.Float64()*100
+				if _, err := c.Contact(j.ID, j.Topo, iter, 0, now); err != nil {
+					t.Fatalf("seed %d: contact: %v", seed, err)
+				}
+			case 2: // resize completion
+				if len(running) == 0 {
+					continue
+				}
+				j := running[rng.Intn(len(running))]
+				if _, err := c.ResizeComplete(j.ID, rng.Float64()*5, now); err != nil {
+					t.Fatalf("seed %d: resize complete: %v", seed, err)
+				}
+			case 3: // finish or fail
+				if len(running) == 0 {
+					continue
+				}
+				j := running[rng.Intn(len(running))]
+				var err error
+				if rng.Intn(4) == 0 {
+					_, err = c.Fail(j.ID, now)
+				} else {
+					_, err = c.Finish(j.ID, now)
+				}
+				if err != nil {
+					t.Fatalf("seed %d: complete: %v", seed, err)
+				}
+			}
+			check("after op")
+		}
+
+		// Drain: finish everything and confirm the pool is whole again.
+		refreshRunning()
+		for _, j := range running {
+			if _, err := c.ResizeComplete(j.ID, 0, now); err != nil {
+				t.Fatalf("seed %d: drain resize: %v", seed, err)
+			}
+		}
+		refreshRunning()
+		for len(running) > 0 {
+			if _, err := c.Finish(running[0].ID, now); err != nil {
+				t.Fatalf("seed %d: drain finish: %v", seed, err)
+			}
+			refreshRunning()
+			for _, j := range running {
+				c.ResizeComplete(j.ID, 0, now)
+			}
+			refreshRunning()
+		}
+		if c.QueueLen() > 0 {
+			// Queued jobs must all fit an empty cluster; schedule them.
+			started := c.TrySchedule(now)
+			for len(started) > 0 || c.QueueLen() > 0 {
+				refreshRunning()
+				if len(running) == 0 {
+					t.Fatalf("seed %d: queue stuck with empty cluster", seed)
+				}
+				c.Finish(running[0].ID, now)
+				started = nil
+				refreshRunning()
+			}
+		}
+		if c.Free() != c.Total {
+			t.Fatalf("seed %d: leaked processors: free %d of %d", seed, c.Free(), c.Total)
+		}
+		prev := -1.0
+		for _, e := range c.Events {
+			if e.Time < prev {
+				t.Fatalf("seed %d: event times regress", seed)
+			}
+			prev = e.Time
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package scheduler
+
+import "repro/internal/grid"
+
+// Action is the Remap Scheduler's verdict at a resize point.
+type Action int
+
+const (
+	// ActionNone continues on the current processor set.
+	ActionNone Action = iota
+	// ActionExpand grows the job to Decision.Target.
+	ActionExpand
+	// ActionShrink reduces the job to Decision.Target.
+	ActionShrink
+)
+
+// String names the action.
+func (a Action) String() string {
+	switch a {
+	case ActionExpand:
+		return "expand"
+	case ActionShrink:
+		return "shrink"
+	default:
+		return "none"
+	}
+}
+
+// Decision is the Remap Scheduler's response to a contact_scheduler call.
+type Decision struct {
+	Action Action
+	Target grid.Topology // meaningful for Expand/Shrink
+	Reason string        // human-readable policy trace
+}
+
+// RemapInput gathers everything the published policy (§3.1) consults at a
+// resize point.
+type RemapInput struct {
+	Current grid.Topology
+	Chain   []grid.Topology // the job's legal configurations, ascending
+	Profile *Profile
+	// IdleProcs is the number of currently unallocated processors.
+	IdleProcs int
+	// QueuedNeeds lists the processor requirements of queued jobs in queue
+	// order (head first). Empty means nothing is waiting.
+	QueuedNeeds []int
+	// RemainingIters is the number of outer iterations the job still has to
+	// run (0 when unknown); cost-aware policies use it to amortize
+	// redistribution costs.
+	RemainingIters int
+}
+
+// Decide implements the Remap Scheduler policy of the paper:
+//
+// Shrink when the job has previously run on a smaller set and either (1) the
+// last expansion provided no performance benefit — shrink back to the
+// configuration before that expansion — or (2) jobs are waiting: give up
+// enough processors (together with the idle pool) to start the head of the
+// queue, preferring the largest (least harmful) shrink point; if even the
+// smallest shrink point cannot free enough, shrink all the way to it and
+// wait.
+//
+// Expand when there are idle processors, nothing is queued, and either the
+// job has never been expanded or its previous expansion improved the
+// iteration time. The target is the next configuration in the job's chain
+// that fits within the idle pool.
+func Decide(in RemapInput) Decision {
+	cur := in.Current
+	prof := in.Profile
+
+	// Queue pressure: try to accommodate the first waiting job.
+	if len(in.QueuedNeeds) > 0 {
+		pts := prof.ShrinkPoints(cur)
+		if len(pts) == 0 {
+			return Decision{Action: ActionNone, Reason: "queue waiting but no shrink points"}
+		}
+		headNeed := in.QueuedNeeds[0]
+		for _, sp := range pts { // largest first
+			freed := cur.Count() - sp.Count()
+			if in.IdleProcs+freed >= headNeed {
+				return Decision{Action: ActionShrink, Target: sp,
+					Reason: "shrink to accommodate queued job"}
+			}
+		}
+		smallest := pts[len(pts)-1]
+		return Decision{Action: ActionShrink, Target: smallest,
+			Reason: "queue waiting; shrink to smallest shrink point"}
+	}
+
+	// Failed expansion: shrink back to the pre-expansion configuration.
+	if before, after, ok := prof.LastExpansion(); ok {
+		if cur == after.Topo && len(after.IterTimes) > 0 && after.Last() >= before.Last() {
+			return Decision{Action: ActionShrink, Target: before.Topo,
+				Reason: "previous expansion gave no benefit"}
+		}
+	}
+
+	// Expansion probe.
+	if in.IdleProcs <= 0 {
+		return Decision{Action: ActionNone, Reason: "no idle processors"}
+	}
+	if before, after, ok := prof.LastExpansion(); ok {
+		if len(after.IterTimes) > 0 && after.Last() >= before.Last() {
+			return Decision{Action: ActionNone, Reason: "last expansion did not improve"}
+		}
+		if len(after.IterTimes) == 0 {
+			return Decision{Action: ActionNone, Reason: "expansion not yet measured"}
+		}
+	}
+	next, ok := nextInChain(in.Chain, cur)
+	if !ok {
+		return Decision{Action: ActionNone, Reason: "already at largest configuration"}
+	}
+	if next.Count()-cur.Count() > in.IdleProcs {
+		return Decision{Action: ActionNone, Reason: "next configuration does not fit idle pool"}
+	}
+	return Decision{Action: ActionExpand, Target: next, Reason: "probing larger configuration"}
+}
+
+// nextInChain returns the smallest configuration in the chain strictly
+// larger than cur.
+func nextInChain(chain []grid.Topology, cur grid.Topology) (grid.Topology, bool) {
+	for _, t := range chain {
+		if t.Count() > cur.Count() {
+			return t, true
+		}
+	}
+	return grid.Topology{}, false
+}

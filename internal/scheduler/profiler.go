@@ -1,0 +1,144 @@
+// Package scheduler implements ReSHAPE's application scheduling and
+// monitoring module: job queueing with FCFS and simple backfill, the Remap
+// Scheduler's expand/shrink policy, and the Performance Profiler that
+// records per-configuration iteration times and redistribution costs.
+//
+// The package is split into a passive Core (a clock-independent state
+// machine driven by explicit timestamps, shared between the real runtime
+// and the virtual-time cluster simulator) and an active Server that wraps
+// the Core with the five concurrent components described in the paper
+// (System Monitor, Application Scheduler, Job Startup, Remap Scheduler,
+// Performance Profiler).
+package scheduler
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/grid"
+)
+
+// Visit is one contiguous stay of a job on a particular processor
+// configuration, with the iteration times observed there.
+type Visit struct {
+	Topo      grid.Topology
+	IterTimes []float64
+}
+
+// Last returns the most recent iteration time of the visit (0 if none).
+func (v *Visit) Last() float64 {
+	if len(v.IterTimes) == 0 {
+		return 0
+	}
+	return v.IterTimes[len(v.IterTimes)-1]
+}
+
+// Mean returns the mean iteration time of the visit (0 if none).
+func (v *Visit) Mean() float64 {
+	if len(v.IterTimes) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, t := range v.IterTimes {
+		s += t
+	}
+	return s / float64(len(v.IterTimes))
+}
+
+// Profile is the Performance Profiler's per-job record: the chronological
+// list of configurations the job has run on (with observed iteration times)
+// and the redistribution costs measured between configurations. Shrink
+// points — configurations the job may legally shrink back to — are exactly
+// the previously visited smaller configurations.
+type Profile struct {
+	Visits []Visit
+	Redist map[string]float64 // "RxC->RxC" -> last observed redistribution seconds
+}
+
+// NewProfile returns an empty profile.
+func NewProfile() *Profile {
+	return &Profile{Redist: make(map[string]float64)}
+}
+
+// RecordIteration appends an iteration time observed on topo, opening a new
+// visit if the configuration changed.
+func (p *Profile) RecordIteration(topo grid.Topology, iterTime float64) {
+	n := len(p.Visits)
+	if n == 0 || p.Visits[n-1].Topo != topo {
+		p.Visits = append(p.Visits, Visit{Topo: topo})
+		n++
+	}
+	p.Visits[n-1].IterTimes = append(p.Visits[n-1].IterTimes, iterTime)
+}
+
+// RecordRedist stores an observed redistribution cost between two
+// configurations.
+func (p *Profile) RecordRedist(from, to grid.Topology, seconds float64) {
+	p.Redist[redistKey(from, to)] = seconds
+}
+
+// RedistCost returns the recorded redistribution cost between two
+// configurations, if any.
+func (p *Profile) RedistCost(from, to grid.Topology) (float64, bool) {
+	v, ok := p.Redist[redistKey(from, to)]
+	return v, ok
+}
+
+func redistKey(from, to grid.Topology) string {
+	return fmt.Sprintf("%s->%s", from, to)
+}
+
+// Current returns the visit the job is currently in, or nil before the
+// first recorded iteration.
+func (p *Profile) Current() *Visit {
+	if len(p.Visits) == 0 {
+		return nil
+	}
+	return &p.Visits[len(p.Visits)-1]
+}
+
+// LastExpansion locates the most recent pair of consecutive visits in which
+// the processor count grew, returning (before, after, true). This is the
+// transition the Remap Scheduler's improvement test inspects.
+func (p *Profile) LastExpansion() (before, after *Visit, ok bool) {
+	for i := len(p.Visits) - 1; i > 0; i-- {
+		if p.Visits[i].Topo.Count() > p.Visits[i-1].Topo.Count() {
+			return &p.Visits[i-1], &p.Visits[i], true
+		}
+	}
+	return nil, nil, false
+}
+
+// EverExpanded reports whether the job has ever grown its processor set.
+func (p *Profile) EverExpanded() bool {
+	_, _, ok := p.LastExpansion()
+	return ok
+}
+
+// ShrinkPoints returns the distinct previously visited configurations
+// strictly smaller than cur, sorted by descending processor count (the
+// least-damaging shrink first). Applications can only shrink to
+// configurations on which they have previously run.
+func (p *Profile) ShrinkPoints(cur grid.Topology) []grid.Topology {
+	seen := make(map[grid.Topology]bool)
+	var out []grid.Topology
+	for _, v := range p.Visits {
+		if v.Topo.Count() < cur.Count() && !seen[v.Topo] {
+			seen[v.Topo] = true
+			out = append(out, v.Topo)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Count() > out[j].Count() })
+	return out
+}
+
+// TimeAt returns the most recent iteration time the job achieved on the
+// given configuration, scanning visits from newest to oldest.
+func (p *Profile) TimeAt(topo grid.Topology) (float64, bool) {
+	for i := len(p.Visits) - 1; i >= 0; i-- {
+		if p.Visits[i].Topo == topo && len(p.Visits[i].IterTimes) > 0 {
+			return p.Visits[i].Last(), true
+		}
+	}
+	return 0, false
+}

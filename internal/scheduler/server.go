@@ -1,0 +1,147 @@
+package scheduler
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/grid"
+)
+
+// JobStarter launches a job's processes once the Application Scheduler
+// allocates it (the paper's Job Startup thread hands the job to the
+// application monitor on the first node). It runs on its own goroutine.
+type JobStarter func(job *Job)
+
+// Server is the active, real-time front of the scheduler: it wraps the
+// passive Core with wall-clock timing and asynchronous job startup, and
+// implements the client interface the resizing library talks to.
+//
+// Mapping to the paper's five components: Submit is the Application
+// Scheduler's command-line submission path; the JobStarter goroutines are
+// the Job Startup thread; Contact is the Remap Scheduler; the Profile
+// records maintained inside the Core are the Performance Profiler; and
+// JobEnd/JobError are the System Monitor receiving signals from per-node
+// application monitors.
+type Server struct {
+	mu      sync.Mutex
+	core    *Core
+	starter JobStarter
+	epoch   time.Time
+	done    map[int]chan struct{}
+}
+
+// NewServer wraps a Core. starter may be nil when jobs are driven
+// externally (e.g. by tests calling the client methods directly).
+func NewServer(total int, backfill bool, starter JobStarter) *Server {
+	return &Server{
+		core:    NewCore(total, backfill),
+		starter: starter,
+		epoch:   time.Now(),
+		done:    make(map[int]chan struct{}),
+	}
+}
+
+// Now returns the scheduler clock in seconds since server start.
+func (s *Server) Now() float64 { return time.Since(s.epoch).Seconds() }
+
+// Core exposes the underlying state machine for inspection (tests,
+// experiment harnesses). Callers must not mutate it concurrently with
+// server operation.
+func (s *Server) Core() *Core { return s.core }
+
+// Submit enqueues a job; if processors are available it (and any backfilled
+// jobs) start immediately via the JobStarter.
+func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	s.mu.Lock()
+	job, started, err := s.core.Submit(spec, s.Now())
+	if err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	s.done[job.ID] = make(chan struct{})
+	s.mu.Unlock()
+	s.launch(started)
+	return job, nil
+}
+
+func (s *Server) launch(started []*Job) {
+	if s.starter == nil {
+		return
+	}
+	for _, j := range started {
+		go s.starter(j)
+	}
+}
+
+// Contact implements the resize library's contact_scheduler call.
+func (s *Server) Contact(jobID int, topo grid.Topology, iterTime, redistTime float64) (Decision, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.core.Contact(jobID, topo, iterTime, redistTime, s.Now())
+}
+
+// ResizeComplete reports that a granted resize has finished; freed
+// processors are recycled into queued jobs.
+func (s *Server) ResizeComplete(jobID int, redistTime float64) error {
+	s.mu.Lock()
+	started, err := s.core.ResizeComplete(jobID, redistTime, s.Now())
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	s.launch(started)
+	return nil
+}
+
+// JobEnd is the System Monitor's job-completion signal.
+func (s *Server) JobEnd(jobID int) error {
+	return s.complete(jobID, s.core.Finish)
+}
+
+// JobError is the System Monitor's job-error signal: the application
+// monitor reports an internal failure and the scheduler deletes the job and
+// recovers its resources.
+func (s *Server) JobError(jobID int) error {
+	return s.complete(jobID, s.core.Fail)
+}
+
+func (s *Server) complete(jobID int, fn func(int, float64) ([]*Job, error)) error {
+	s.mu.Lock()
+	started, err := fn(jobID, s.Now())
+	var ch chan struct{}
+	if err == nil {
+		ch = s.done[jobID]
+	}
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if ch != nil {
+		close(ch)
+	}
+	s.launch(started)
+	return nil
+}
+
+// Wait blocks until the job has finished.
+func (s *Server) Wait(jobID int) {
+	s.mu.Lock()
+	ch := s.done[jobID]
+	s.mu.Unlock()
+	if ch != nil {
+		<-ch
+	}
+}
+
+// WaitAll blocks until every submitted job has finished.
+func (s *Server) WaitAll() {
+	s.mu.Lock()
+	chans := make([]chan struct{}, 0, len(s.done))
+	for _, ch := range s.done {
+		chans = append(chans, ch)
+	}
+	s.mu.Unlock()
+	for _, ch := range chans {
+		<-ch
+	}
+}

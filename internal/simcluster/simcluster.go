@@ -1,0 +1,386 @@
+// Package simcluster is the virtual-time discrete-event simulation of a
+// ReSHAPE-managed cluster. It replays job mixes against the calibrated
+// performance models of package perfmodel while driving the *same*
+// scheduler policy code (scheduler.Core) that the real runtime uses, so the
+// workload experiments of the paper (Figures 3-5, Tables 4-5) run at full
+// System X scale in milliseconds of wall clock.
+//
+// Three scheduling modes reproduce the paper's comparisons: Static pins
+// every job to its initial allocation; Dynamic resizes with the
+// message-passing redistribution cost model; DynamicCheckpoint resizes with
+// the single-node file-based checkpointing cost model.
+package simcluster
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/perfmodel"
+	"repro/internal/scheduler"
+)
+
+// Mode selects the scheduling strategy.
+type Mode int
+
+const (
+	// Static keeps every job at its initial allocation (conventional
+	// scheduler).
+	Static Mode = iota
+	// Dynamic is ReSHAPE with the message-passing redistribution.
+	Dynamic
+	// DynamicCheckpoint is dynamic resizing paying the file-based
+	// checkpoint/restart cost at every resize.
+	DynamicCheckpoint
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Static:
+		return "static"
+	case Dynamic:
+		return "reshape"
+	case DynamicCheckpoint:
+		return "checkpoint"
+	default:
+		return "unknown"
+	}
+}
+
+// JobInput couples a scheduler job spec with its performance model and
+// arrival time.
+type JobInput struct {
+	Spec    scheduler.JobSpec
+	Model   perfmodel.AppModel
+	Arrival float64
+}
+
+// IterRecord is one completed iteration in the simulation, mirroring the
+// rows of Figure 3(a).
+type IterRecord struct {
+	Iter      int
+	Procs     int
+	Topo      string
+	IterTime  float64
+	RedistSec float64 // cost paid after this iteration's resize point
+}
+
+// JobResult summarizes one job.
+type JobResult struct {
+	Name        string
+	App         string
+	InitialProc int
+	Submit      float64
+	Start       float64
+	End         float64
+	Iters       []IterRecord
+	TotalRedist float64
+}
+
+// Turnaround is completion time minus submission time.
+func (j JobResult) Turnaround() float64 { return j.End - j.Submit }
+
+// ComputeTime is the sum of iteration times (excluding redistribution).
+func (j JobResult) ComputeTime() float64 {
+	s := 0.0
+	for _, r := range j.Iters {
+		s += r.IterTime
+	}
+	return s
+}
+
+// Result is a full simulation outcome.
+type Result struct {
+	Mode        Mode
+	Total       int
+	Jobs        []JobResult
+	Events      []scheduler.AllocEvent
+	Makespan    float64
+	Utilization float64 // fraction of available cpu-seconds assigned to jobs
+}
+
+// event is a discrete simulation event.
+type event struct {
+	time float64
+	seq  int // tie-break for determinism
+	kind eventKind
+	job  int // scheduler job id
+}
+
+type eventKind int
+
+const (
+	evArrival eventKind = iota
+	evResizePoint
+	evResizeDone
+)
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Sim runs one simulation.
+type Sim struct {
+	total  int
+	mode   Mode
+	params *perfmodel.Params
+	core   *scheduler.Core
+
+	inputs  []JobInput
+	byID    map[int]*jobState
+	events  eventHeap
+	seq     int
+	pending []JobInput // not yet submitted
+}
+
+type jobState struct {
+	input     JobInput
+	id        int
+	itersDone int
+	lastIter  float64 // duration of the iteration in flight / just completed
+	lastRed   float64
+	result    *JobResult
+}
+
+// New prepares a simulation over a cluster with total processors.
+func New(total int, mode Mode, params *perfmodel.Params, jobs []JobInput) *Sim {
+	return &Sim{
+		total:  total,
+		mode:   mode,
+		params: params,
+		core:   scheduler.NewCore(total, true),
+		inputs: jobs,
+		byID:   make(map[int]*jobState),
+	}
+}
+
+// WithPolicy overrides the Remap Scheduler policy for this simulation (used
+// by the policy ablation experiments); the default is the paper's policy.
+func (s *Sim) WithPolicy(p scheduler.Policy) *Sim {
+	s.core.Policy = p
+	return s
+}
+
+// Run executes the simulation to completion and returns the result.
+func (s *Sim) Run() (*Result, error) {
+	heap.Init(&s.events)
+	arrivals := append([]JobInput{}, s.inputs...)
+	sort.SliceStable(arrivals, func(i, j int) bool { return arrivals[i].Arrival < arrivals[j].Arrival })
+	s.pending = arrivals
+	for i := range arrivals {
+		s.push(arrivals[i].Arrival, evArrival, i)
+	}
+
+	for s.events.Len() > 0 {
+		e := heap.Pop(&s.events).(event)
+		switch e.kind {
+		case evArrival:
+			if err := s.handleArrival(e); err != nil {
+				return nil, err
+			}
+		case evResizePoint:
+			if err := s.handleResizePoint(e); err != nil {
+				return nil, err
+			}
+		case evResizeDone:
+			if err := s.handleResizeDone(e); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s.collect()
+}
+
+func (s *Sim) push(t float64, kind eventKind, job int) {
+	s.seq++
+	heap.Push(&s.events, event{time: t, seq: s.seq, kind: kind, job: job})
+}
+
+// startIteration schedules the next resize point for a running job.
+func (s *Sim) startIteration(js *jobState, now float64) error {
+	job, _ := s.core.Job(js.id)
+	dur, err := s.params.IterTime(js.input.Model, job.Topo)
+	if err != nil {
+		return err
+	}
+	js.lastIter = dur
+	s.push(now+dur, evResizePoint, js.id)
+	return nil
+}
+
+func (s *Sim) handleArrival(e event) error {
+	in := s.pending[e.job]
+	job, started, err := s.core.Submit(in.Spec, e.time)
+	if err != nil {
+		return err
+	}
+	s.byID[job.ID] = &jobState{
+		input: in,
+		id:    job.ID,
+		result: &JobResult{
+			Name:        in.Spec.Name,
+			App:         in.Spec.App,
+			InitialProc: in.Spec.InitialTopo.Count(),
+			Submit:      e.time,
+		},
+	}
+	return s.beginStarted(started, e.time)
+}
+
+// beginStarted kicks off the first iteration of every newly started job.
+func (s *Sim) beginStarted(started []*scheduler.Job, now float64) error {
+	for _, j := range started {
+		js, ok := s.byID[j.ID]
+		if !ok {
+			return fmt.Errorf("simcluster: started unknown job %d", j.ID)
+		}
+		js.result.Start = now
+		if err := s.startIteration(js, now); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Sim) handleResizePoint(e event) error {
+	js := s.byID[e.job]
+	job, _ := s.core.Job(e.job)
+	now := e.time
+	js.itersDone++
+	rec := IterRecord{
+		Iter:     js.itersDone,
+		Procs:    job.Topo.Count(),
+		Topo:     job.Topo.String(),
+		IterTime: js.lastIter,
+	}
+
+	if js.itersDone >= js.input.Spec.Iterations {
+		js.result.Iters = append(js.result.Iters, rec)
+		js.result.End = now
+		started, err := s.core.Finish(e.job, now)
+		if err != nil {
+			return err
+		}
+		return s.beginStarted(started, now)
+	}
+
+	if s.mode == Static {
+		js.result.Iters = append(js.result.Iters, rec)
+		return s.startIteration(js, now)
+	}
+
+	from := job.Topo
+	d, err := s.core.Contact(e.job, job.Topo, js.lastIter, js.lastRed, now)
+	if err != nil {
+		return err
+	}
+	js.lastRed = 0
+	if d.Action == scheduler.ActionNone {
+		js.result.Iters = append(js.result.Iters, rec)
+		return s.startIteration(js, now)
+	}
+
+	// Resize granted: pay the redistribution cost, then resume.
+	var cost float64
+	if s.mode == DynamicCheckpoint {
+		cost = s.params.CheckpointTime(js.input.Model, from, d.Target)
+	} else {
+		cost = s.params.RedistTime(js.input.Model, from, d.Target)
+	}
+	js.lastRed = cost
+	js.result.TotalRedist += cost
+	rec.RedistSec = cost
+	js.result.Iters = append(js.result.Iters, rec)
+	s.push(now+cost, evResizeDone, e.job)
+	return nil
+}
+
+func (s *Sim) handleResizeDone(e event) error {
+	js := s.byID[e.job]
+	started, err := s.core.ResizeComplete(e.job, js.lastRed, e.time)
+	if err != nil {
+		return err
+	}
+	if err := s.beginStarted(started, e.time); err != nil {
+		return err
+	}
+	return s.startIteration(js, e.time)
+}
+
+// collect assembles the result and computes utilization from the allocation
+// event trace.
+func (s *Sim) collect() (*Result, error) {
+	res := &Result{Mode: s.mode, Total: s.total, Events: s.core.Events}
+	for _, j := range s.core.Jobs() {
+		js := s.byID[j.ID]
+		if j.State != scheduler.Done {
+			return nil, fmt.Errorf("simcluster: job %q never finished (state %v)", j.Spec.Name, j.State)
+		}
+		res.Jobs = append(res.Jobs, *js.result)
+		if js.result.End > res.Makespan {
+			res.Makespan = js.result.End
+		}
+	}
+	res.Utilization = utilization(s.core.Events, s.total, res.Makespan)
+	return res, nil
+}
+
+// utilization integrates the busy-processor series over [0, makespan].
+func utilization(events []scheduler.AllocEvent, total int, makespan float64) float64 {
+	if makespan <= 0 || total <= 0 {
+		return 0
+	}
+	busySeconds := 0.0
+	prevT := 0.0
+	prevBusy := 0
+	for _, e := range events {
+		if e.Time > prevT {
+			busySeconds += float64(prevBusy) * (e.Time - prevT)
+			prevT = e.Time
+		}
+		prevBusy = e.Busy
+	}
+	if makespan > prevT {
+		busySeconds += float64(prevBusy) * (makespan - prevT)
+	}
+	return busySeconds / (float64(total) * makespan)
+}
+
+// BusySeries converts the event trace into (time, busy) step points for
+// Figures 4(b)/5(b).
+func BusySeries(events []scheduler.AllocEvent) [][2]float64 {
+	var out [][2]float64
+	for _, e := range events {
+		out = append(out, [2]float64{e.Time, float64(e.Busy)})
+	}
+	return out
+}
+
+// AllocSeries extracts one job's processor-allocation history as (time,
+// procs) step points for Figures 4(a)/5(a). The series ends with the job's
+// completion at zero processors.
+func AllocSeries(events []scheduler.AllocEvent, jobName string) [][2]float64 {
+	var out [][2]float64
+	for _, e := range events {
+		if e.Job != jobName {
+			continue
+		}
+		switch e.Kind {
+		case "start", "expand", "shrink":
+			out = append(out, [2]float64{e.Time, float64(e.Topo.Count())})
+		case "end":
+			out = append(out, [2]float64{e.Time, 0})
+		}
+	}
+	return out
+}

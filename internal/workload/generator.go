@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/grid"
+	"repro/internal/perfmodel"
+	"repro/internal/scheduler"
+	"repro/internal/simcluster"
+)
+
+// GenConfig parameterizes the synthetic job-mix generator used for the
+// load-sweep experiments beyond the paper's two fixed workloads.
+type GenConfig struct {
+	Seed             int64
+	Jobs             int
+	MeanInterarrival float64 // seconds between submissions (exponential)
+	MaxProcs         int     // configuration chains are capped here
+	Iterations       int     // outer iterations per job (default 10)
+}
+
+// luSizePool are the Table 2 problem sizes the generator draws from.
+var luSizePool = []int{8000, 12000, 14000, 16000, 20000, 21000, 24000}
+
+// Generate produces a reproducible random mix of the paper's applications
+// with exponential interarrival times, for stress-testing the scheduler at
+// job counts beyond the published workloads.
+func Generate(cfg GenConfig) ([]simcluster.JobInput, error) {
+	if cfg.Jobs <= 0 {
+		return nil, fmt.Errorf("workload: Generate needs at least 1 job")
+	}
+	if cfg.MaxProcs <= 0 {
+		cfg.MaxProcs = ClusterProcs
+	}
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = Iterations
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	arrival := 0.0
+	var jobs []simcluster.JobInput
+	for i := 0; i < cfg.Jobs; i++ {
+		if i > 0 {
+			arrival += rng.ExpFloat64() * cfg.MeanInterarrival
+		}
+		var in simcluster.JobInput
+		switch rng.Intn(5) {
+		case 0, 1: // LU and MM dominate large clusters
+			n := luSizePool[rng.Intn(len(luSizePool))]
+			app := "lu"
+			if rng.Intn(2) == 1 {
+				app = "mm"
+			}
+			start, ok := grid.SmallestConfig(n, 2, cfg.MaxProcs)
+			if !ok {
+				return nil, fmt.Errorf("workload: no starting config for n=%d", n)
+			}
+			in = simcluster.JobInput{
+				Spec: scheduler.JobSpec{
+					Name: fmt.Sprintf("%s-%d", app, i), App: app, ProblemSize: n,
+					Iterations:  cfg.Iterations,
+					InitialTopo: start,
+					Chain:       grid.GrowthChain(start, n, cfg.MaxProcs),
+				},
+				Model: perfmodel.AppModel{App: app, N: n},
+			}
+		case 2:
+			in = jacobiInput(fmt.Sprintf("jacobi-%d", i), cfg)
+		case 3:
+			in = fftInput(fmt.Sprintf("fft-%d", i), cfg)
+		default:
+			work := 10 + rng.Float64()*100
+			in = job1D(fmt.Sprintf("mw-%d", i), "mw", 20000,
+				evens(2, min(22, cfg.MaxProcs)), 0,
+				perfmodel.AppModel{App: "mw", MWWorkSeconds: work})
+			in.Spec.Iterations = cfg.Iterations
+		}
+		in.Arrival = arrival
+		jobs = append(jobs, in)
+	}
+	return jobs, nil
+}
+
+func jacobiInput(name string, cfg GenConfig) simcluster.JobInput {
+	counts := []int{4, 8, 10, 16, 20, 32}
+	in := job1D(name, "jacobi", 8000, capCounts(counts, cfg.MaxProcs), 0,
+		perfmodel.AppModel{App: "jacobi", N: 8000})
+	in.Spec.Iterations = cfg.Iterations
+	return in
+}
+
+func fftInput(name string, cfg GenConfig) simcluster.JobInput {
+	counts := []int{4, 8, 16, 32}
+	in := job1D(name, "fft", 8192, capCounts(counts, cfg.MaxProcs), 0,
+		perfmodel.AppModel{App: "fft", N: 8192})
+	in.Spec.Iterations = cfg.Iterations
+	return in
+}
+
+func capCounts(counts []int, maxProcs int) []int {
+	var out []int
+	for _, c := range counts {
+		if c <= maxProcs {
+			out = append(out, c)
+		}
+	}
+	if len(out) == 0 {
+		out = []int{counts[0]}
+	}
+	return out
+}
+
+func evens(from, to int) []int {
+	var out []int
+	for p := from; p <= to; p += 2 {
+		out = append(out, p)
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// SweepPoint is one load level of a load sweep.
+type SweepPoint struct {
+	MeanInterarrival float64
+	StaticUtil       float64
+	DynamicUtil      float64
+	StaticMeanTurn   float64
+	DynamicMeanTurn  float64
+}
+
+// LoadSweep measures static vs dynamic scheduling across arrival-rate
+// levels on a generated mix — the "does resizing still help under load?"
+// question the paper's workload section motivates.
+func LoadSweep(total int, params *perfmodel.Params, jobs, seed int64, interarrivals []float64) ([]SweepPoint, error) {
+	var points []SweepPoint
+	for _, ia := range interarrivals {
+		gen, err := Generate(GenConfig{
+			Seed: seed, Jobs: int(jobs), MeanInterarrival: ia, MaxProcs: total,
+		})
+		if err != nil {
+			return nil, err
+		}
+		st, err := simcluster.New(total, simcluster.Static, params, gen).Run()
+		if err != nil {
+			return nil, fmt.Errorf("workload: sweep static ia=%.0f: %w", ia, err)
+		}
+		dy, err := simcluster.New(total, simcluster.Dynamic, params, gen).Run()
+		if err != nil {
+			return nil, fmt.Errorf("workload: sweep dynamic ia=%.0f: %w", ia, err)
+		}
+		pt := SweepPoint{
+			MeanInterarrival: ia,
+			StaticUtil:       st.Utilization,
+			DynamicUtil:      dy.Utilization,
+		}
+		for _, j := range st.Jobs {
+			pt.StaticMeanTurn += j.Turnaround()
+		}
+		for _, j := range dy.Jobs {
+			pt.DynamicMeanTurn += j.Turnaround()
+		}
+		pt.StaticMeanTurn /= float64(len(st.Jobs))
+		pt.DynamicMeanTurn /= float64(len(dy.Jobs))
+		points = append(points, pt)
+	}
+	return points, nil
+}

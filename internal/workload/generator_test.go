@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/perfmodel"
+	"repro/internal/simcluster"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := GenConfig{Seed: 42, Jobs: 12, MeanInterarrival: 200, MaxProcs: 36}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 12 || len(b) != 12 {
+		t.Fatalf("lengths %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Spec.Name != b[i].Spec.Name || a[i].Arrival != b[i].Arrival {
+			t.Fatalf("job %d differs between runs", i)
+		}
+	}
+}
+
+func TestGenerateArrivalsMonotone(t *testing.T) {
+	jobs, err := Generate(GenConfig{Seed: 7, Jobs: 20, MeanInterarrival: 100, MaxProcs: 36})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(jobs); i++ {
+		if jobs[i].Arrival < jobs[i-1].Arrival {
+			t.Fatalf("arrivals not monotone at %d", i)
+		}
+	}
+	for _, j := range jobs {
+		if len(j.Spec.Chain) == 0 {
+			t.Fatalf("%s: empty chain", j.Spec.Name)
+		}
+		if j.Spec.InitialTopo.Count() > 36 {
+			t.Fatalf("%s: initial %v too large", j.Spec.Name, j.Spec.InitialTopo)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(GenConfig{Jobs: 0}); err == nil {
+		t.Fatal("zero jobs accepted")
+	}
+}
+
+func TestGeneratedMixRunsUnderBothModes(t *testing.T) {
+	jobs, err := Generate(GenConfig{Seed: 3, Jobs: 10, MeanInterarrival: 300, MaxProcs: 36})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := perfmodel.SystemX()
+	for _, mode := range []simcluster.Mode{simcluster.Static, simcluster.Dynamic} {
+		res, err := simcluster.New(36, mode, p, jobs).Run()
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		if len(res.Jobs) != 10 {
+			t.Fatalf("mode %v: %d jobs finished", mode, len(res.Jobs))
+		}
+	}
+}
+
+func TestLoadSweepShapes(t *testing.T) {
+	p := perfmodel.SystemX()
+	points, err := LoadSweep(36, p, 10, 11, []float64{100, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("%d points", len(points))
+	}
+	for _, pt := range points {
+		if pt.DynamicUtil <= 0 || pt.DynamicUtil > 1 {
+			t.Errorf("ia=%v: dynamic util %v", pt.MeanInterarrival, pt.DynamicUtil)
+		}
+		if pt.StaticMeanTurn <= 0 || pt.DynamicMeanTurn <= 0 {
+			t.Errorf("ia=%v: non-positive turnarounds", pt.MeanInterarrival)
+		}
+	}
+	// At sparse arrivals (light load) dynamic scheduling must raise
+	// utilization: idle processors get absorbed by running jobs.
+	light := points[1]
+	if light.DynamicUtil <= light.StaticUtil {
+		t.Errorf("light load: dynamic util %.3f <= static %.3f",
+			light.DynamicUtil, light.StaticUtil)
+	}
+}

@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/perfmodel"
+)
+
+func TestW1Definition(t *testing.T) {
+	jobs := W1()
+	if len(jobs) != 5 {
+		t.Fatalf("%d jobs", len(jobs))
+	}
+	// Initial allocations of Table 4.
+	wantInitial := map[string]int{
+		"LU": 6, "MM": 8, "Master-Worker": 2, "Jacobi": 4, "2D FFT": 4,
+	}
+	wantArrival := map[string]float64{
+		"LU": 0, "MM": 0, "Master-Worker": 450, "Jacobi": 465, "2D FFT": 465,
+	}
+	for _, j := range jobs {
+		if got := j.Spec.InitialTopo.Count(); got != wantInitial[j.Spec.Name] {
+			t.Errorf("%s: initial %d, want %d", j.Spec.Name, got, wantInitial[j.Spec.Name])
+		}
+		if j.Arrival != wantArrival[j.Spec.Name] {
+			t.Errorf("%s: arrival %v, want %v", j.Spec.Name, j.Arrival, wantArrival[j.Spec.Name])
+		}
+		if j.Spec.Iterations != Iterations {
+			t.Errorf("%s: %d iterations", j.Spec.Name, j.Spec.Iterations)
+		}
+		if len(j.Spec.Chain) == 0 || j.Spec.Chain[0] != j.Spec.InitialTopo {
+			t.Errorf("%s: chain must start at the initial topology", j.Spec.Name)
+		}
+		for _, topo := range j.Spec.Chain {
+			if topo.Count() > ClusterProcs {
+				t.Errorf("%s: chain config %v exceeds the cluster", j.Spec.Name, topo)
+			}
+		}
+	}
+}
+
+func TestW2Definition(t *testing.T) {
+	jobs := W2()
+	if len(jobs) != 4 {
+		t.Fatalf("%d jobs", len(jobs))
+	}
+	wantInitial := map[string]int{
+		"LU": 16, "Jacobi": 10, "Master-Worker": 6, "2D FFT": 4,
+	}
+	for _, j := range jobs {
+		if got := j.Spec.InitialTopo.Count(); got != wantInitial[j.Spec.Name] {
+			t.Errorf("%s: initial %d, want %d", j.Spec.Name, got, wantInitial[j.Spec.Name])
+		}
+	}
+	// Static W2 fills the cluster exactly: 16+10+6+4 = 36.
+	total := 0
+	for _, j := range jobs {
+		total += j.Spec.InitialTopo.Count()
+	}
+	if total != ClusterProcs {
+		t.Errorf("W2 initial allocations sum to %d, want %d", total, ClusterProcs)
+	}
+}
+
+func TestCompareProducesConsistentRows(t *testing.T) {
+	cmp, err := Compare(ClusterProcs, W2(), perfmodel.SystemX())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Rows) != 4 {
+		t.Fatalf("%d rows", len(cmp.Rows))
+	}
+	for _, r := range cmp.Rows {
+		if r.StaticSec <= 0 || r.DynamicSec <= 0 {
+			t.Errorf("%s: non-positive turnaround %v/%v", r.Job, r.StaticSec, r.DynamicSec)
+		}
+		if r.Difference() != r.StaticSec-r.DynamicSec {
+			t.Errorf("%s: difference mismatch", r.Job)
+		}
+	}
+	if cmp.Static == nil || cmp.Dynamic == nil {
+		t.Fatal("missing raw results")
+	}
+}
+
+func TestTurnaroundRowDifference(t *testing.T) {
+	r := TurnaroundRow{StaticSec: 100, DynamicSec: 60}
+	if r.Difference() != 40 {
+		t.Errorf("difference %v", r.Difference())
+	}
+}
