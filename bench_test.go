@@ -157,6 +157,60 @@ func BenchmarkWorkloadSimScale(b *testing.B) {
 	}
 }
 
+// BenchmarkSchedulerThroughput measures the scheduler engine end to end on
+// large generated workloads driven through the virtual-time simulator: a
+// 1024-processor cluster, exponential arrivals, and the full resize-policy
+// machinery. The "event" cases run the indexed, sharded core; "linear" runs
+// the pre-refactor linear-scan reference on the same 10k-job mix, showing
+// the speedup from the event-driven refactor. The 100k-job case runs with
+// allocation tracing disabled (utilization stays exact via the busy-time
+// integral).
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	params := perfmodel.SystemX()
+	const clusterProcs = 1024
+	mix := func(b *testing.B, jobs int) []simcluster.JobInput {
+		in, err := workload.Generate(workload.GenConfig{
+			Seed: 7, Jobs: jobs, MeanInterarrival: 2, MaxProcs: 64,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return in
+	}
+	run := func(b *testing.B, jobs int, mk func() scheduler.Interface) {
+		in := mix(b, jobs)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := simcluster.New(clusterProcs, simcluster.Dynamic, params, in).
+				WithCore(mk()).Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Jobs) != jobs {
+				b.Fatalf("%d jobs finished, want %d", len(res.Jobs), jobs)
+			}
+		}
+		b.ReportMetric(float64(jobs)*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+	}
+	b.Run("event-10k", func(b *testing.B) {
+		run(b, 10_000, func() scheduler.Interface {
+			return scheduler.NewCore(clusterProcs, true)
+		})
+	})
+	b.Run("event-100k", func(b *testing.B) {
+		run(b, 100_000, func() scheduler.Interface {
+			c := scheduler.NewCoreSharded(clusterProcs, 16, true)
+			c.DisableTrace()
+			return c
+		})
+	})
+	b.Run("linear-10k", func(b *testing.B) {
+		run(b, 10_000, func() scheduler.Interface {
+			return scheduler.NewLinearCore(clusterProcs, true)
+		})
+	})
+}
+
 // --- Real-runtime redistribution benches --------------------------------------
 
 // benchRedistribute moves a m x m matrix between two grids on real goroutine

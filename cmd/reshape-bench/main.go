@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table2, fig2a, fig2b, fig3a, fig3b, fig4a, fig4b, table4, fig5a, fig5b, table5, ablation")
+	exp := flag.String("exp", "all", "experiment: all, table2, fig2a, fig2b, fig3a, fig3b, fig4a, fig4b, table4, fig5a, fig5b, table5, ablation, loadsweep, scale")
 	flag.Parse()
 	params := perfmodel.SystemX()
 	w := os.Stdout
@@ -67,8 +67,9 @@ func main() {
 			experiments.PrintScheduleAblation(w)
 		},
 		"loadsweep": func() { check(experiments.PrintLoadSweep(w, params)) },
+		"scale":     func() { check(experiments.PrintSchedulerScale(w, params)) },
 	}
-	order := []string{"table2", "fig2a", "fig2b", "fig3a", "fig3b", "fig4a", "fig4b", "table4", "fig5a", "fig5b", "table5", "ablation", "loadsweep"}
+	order := []string{"table2", "fig2a", "fig2b", "fig3a", "fig3b", "fig4a", "fig4b", "table4", "fig5a", "fig5b", "table5", "ablation", "loadsweep", "scale"}
 
 	if *exp == "all" {
 		for _, name := range order {

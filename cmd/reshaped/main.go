@@ -6,6 +6,7 @@
 // Usage:
 //
 //	reshaped -addr 127.0.0.1:7077 -procs 16 -backfill
+//	reshaped -procs 1024 -shards 16   # sharded pool for large clusters
 //
 // Submit jobs with reshape-submit.
 package main
@@ -26,10 +27,15 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7077", "listen address")
 	procs := flag.Int("procs", 16, "number of processors in the pool")
 	backfill := flag.Bool("backfill", true, "enable simple backfill in addition to FCFS")
+	shards := flag.Int("shards", 0, "processor-pool shard count (0 = one shard per 64 processors)")
 	flag.Parse()
 
+	if *shards <= 0 {
+		*shards = scheduler.DefaultShards(*procs)
+	}
+	core := scheduler.NewCoreSharded(*procs, *shards, *backfill)
 	var srv *scheduler.Server
-	srv = scheduler.NewServer(*procs, *backfill, func(j *scheduler.Job) {
+	srv = scheduler.NewServerCore(core, func(j *scheduler.Job) {
 		cfg := apps.Config{
 			App:        j.Spec.App,
 			N:          j.Spec.ProblemSize,
@@ -53,7 +59,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	log.Printf("reshaped: %d processors, listening on %s", *procs, rpcSrv.Addr())
+	log.Printf("reshaped: %d processors in %d pool shard(s), listening on %s",
+		*procs, core.Pool().NumShards(), rpcSrv.Addr())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

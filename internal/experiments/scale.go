@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/perfmodel"
+	"repro/internal/scheduler"
+	"repro/internal/simcluster"
+	"repro/internal/workload"
+)
+
+// ScaleRow is one cluster size of the scheduler scale experiment.
+type ScaleRow struct {
+	Jobs        int
+	Procs       int
+	Shards      int
+	WallSeconds float64
+	JobsPerSec  float64
+	Utilization float64
+}
+
+// SchedulerScale stresses the event-driven scheduler core well beyond the
+// paper's 5-job workloads: generated mixes of thousands of jobs on a
+// 1024-processor virtual cluster, reporting wall-clock throughput of the
+// simulation itself. This is the experiment DESIGN.md's scalability section
+// refers to; BenchmarkSchedulerThroughput covers the same path under `go
+// test -bench`.
+func SchedulerScale(params *perfmodel.Params, jobCounts []int) ([]ScaleRow, error) {
+	const procs = 1024
+	var rows []ScaleRow
+	for _, jobs := range jobCounts {
+		mix, err := workload.Generate(workload.GenConfig{
+			Seed: 7, Jobs: jobs, MeanInterarrival: 2, MaxProcs: 64,
+		})
+		if err != nil {
+			return nil, err
+		}
+		core := scheduler.NewCoreSharded(procs, 16, true)
+		core.DisableTrace()
+		start := time.Now()
+		res, err := simcluster.New(procs, simcluster.Dynamic, params, mix).WithCore(core).Run()
+		if err != nil {
+			return nil, fmt.Errorf("scale %d jobs: %w", jobs, err)
+		}
+		wall := time.Since(start).Seconds()
+		rows = append(rows, ScaleRow{
+			Jobs:        jobs,
+			Procs:       procs,
+			Shards:      core.Pool().NumShards(),
+			WallSeconds: wall,
+			JobsPerSec:  float64(jobs) / wall,
+			Utilization: res.Utilization,
+		})
+	}
+	return rows, nil
+}
+
+// PrintSchedulerScale writes the scheduler scale table.
+func PrintSchedulerScale(w io.Writer, params *perfmodel.Params) error {
+	rows, err := SchedulerScale(params, []int{1000, 10000})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "# Scheduler scale: generated mixes through the event-driven core")
+	fmt.Fprintf(w, "%8s %8s %8s %10s %10s %10s\n",
+		"jobs", "procs", "shards", "wall(s)", "jobs/s", "util(%)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%8d %8d %8d %10.2f %10.0f %10.1f\n",
+			r.Jobs, r.Procs, r.Shards, r.WallSeconds, r.JobsPerSec, 100*r.Utilization)
+	}
+	return nil
+}

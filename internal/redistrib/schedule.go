@@ -1,16 +1,3 @@
-// Package redistrib implements ReSHAPE's block-cyclic array redistribution
-// between processor sets organized in 1-D or checkerboard (2-D) topologies.
-//
-// The algorithm follows Park, Prasanna and Raghavendra ("Efficient
-// Algorithms for Block-Cyclic Array Redistribution Between Processor Sets",
-// IEEE TPDS 1999), as extended by the ReSHAPE paper: a table-based framework
-// computes, for every global block, its source and destination processor
-// (the initial-layout and final-layout tables); the generalized circulant
-// matrix formalism then groups the transfers into contention-free
-// communication steps in which every processor sends at most one message and
-// receives at most one message. Data moves with persistent communication
-// requests over the message-passing runtime; a file-based checkpointing
-// baseline (all data staged through one node) is provided for comparison.
 package redistrib
 
 import "fmt"

@@ -35,7 +35,10 @@ import (
 
 // Client is the scheduler interface the resizing library talks to. The
 // in-process scheduler.Server implements it directly; cmd/reshaped wraps it
-// over TCP.
+// over TCP. Contact calls from concurrently resizing jobs are safe because
+// the Server serializes them onto the scheduler core (see DESIGN.md, Remap
+// Scheduler); an expansion grant either succeeds atomically or comes back
+// as "no change".
 type Client interface {
 	// Contact reports an iteration from a resize point and returns the
 	// remap decision (the paper's contact_scheduler).

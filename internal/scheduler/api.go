@@ -1,0 +1,44 @@
+package scheduler
+
+import "repro/internal/grid"
+
+// Interface is the scheduler state-machine surface shared by the
+// event-indexed Core and the pre-refactor LinearCore reference. The cluster
+// simulator accepts any implementation, which lets differential tests and
+// throughput benchmarks run the exact same workload through both engines.
+type Interface interface {
+	// Submit enqueues a job at the given timestamp and returns it along
+	// with any jobs started as a consequence.
+	Submit(spec JobSpec, now float64) (*Job, []*Job, error)
+	// TrySchedule starts queued jobs that fit the idle pool.
+	TrySchedule(now float64) []*Job
+	// Contact is the Remap Scheduler entry point at a resize point.
+	Contact(jobID int, topo grid.Topology, iterTime, redistTime float64, now float64) (Decision, error)
+	// ResizeComplete confirms a granted resize and reports its cost.
+	ResizeComplete(jobID int, redistTime float64, now float64) ([]*Job, error)
+	// Finish marks a job done and recycles its processors.
+	Finish(jobID int, now float64) ([]*Job, error)
+	// Fail deletes an errored job and recovers its resources.
+	Fail(jobID int, now float64) ([]*Job, error)
+	// Job looks up a job by id.
+	Job(id int) (*Job, bool)
+	// Jobs returns all jobs in submission order.
+	Jobs() []*Job
+	// Free returns the idle processor count.
+	Free() int
+	// Busy returns the allocated processor count.
+	Busy() int
+	// QueueLen returns the number of waiting jobs.
+	QueueLen() int
+	// SetPolicy replaces the Remap Scheduler policy.
+	SetPolicy(p Policy)
+	// AllocEvents returns the allocation trace.
+	AllocEvents() []AllocEvent
+	// BusySeconds integrates busy processors over virtual time up to until.
+	BusySeconds(until float64) float64
+}
+
+var (
+	_ Interface = (*Core)(nil)
+	_ Interface = (*LinearCore)(nil)
+)

@@ -60,12 +60,20 @@ type Job struct {
 	StartTime  float64
 	EndTime    float64
 
+	// grant is the job's sharded processor reservation; it always holds
+	// Topo.Count() + pendingFree processors.
+	grant Grant
 	// pendingFree holds processors granted back by an in-flight shrink,
 	// released when ResizeComplete arrives.
 	pendingFree int
 	// resizeFrom remembers the pre-resize configuration for profiling.
 	resizeFrom grid.Topology
 }
+
+// GrantShards returns the number of pool shards the job's allocation spans
+// (0 while queued or done). Expansion may steal capacity across shards, so
+// a large job can span several.
+func (j *Job) GrantShards() int { return j.grant.Shards() }
 
 // AllocEvent is one allocation change, forming the processor-allocation
 // history of Figures 4(a)/5(a) and the busy-processor series of 4(b)/5(b).
@@ -78,38 +86,96 @@ type AllocEvent struct {
 	Busy  int // busy processors immediately after the event
 }
 
+// queuedNeedsWindow caps the queue-pressure view handed to policies. The
+// published policy only consults the head of the queue; a bounded window
+// keeps Contact O(log n) even with hundreds of thousands of waiting jobs.
+const queuedNeedsWindow = 8
+
 // Core is the passive scheduler state machine: clock-independent (every
 // mutation takes an explicit timestamp) so the same policy code drives both
 // the real runtime and the virtual-time cluster simulation.
+//
+// Internally the core is built for scale: the wait queue is an indexed
+// priority structure (see jobQueue) rather than a linear slice, and the
+// processor pool is sharded into independently locked partitions with
+// cross-shard stealing for expansion (see Pool). Core methods themselves
+// must still be externally synchronized (the Server does this; the
+// simulator is single-threaded).
 type Core struct {
 	Total    int
 	Backfill bool
 	// Policy is the Remap Scheduler strategy; defaults to PaperPolicy.
 	Policy Policy
 
-	free   int
+	pool   *Pool
 	nextID int
-	queue  []*Job
+	queue  jobQueue
 	jobs   map[int]*Job
 
+	// Events is the allocation trace. Tracing can be disabled for huge
+	// simulations (DisableTrace); utilization accounting stays exact either
+	// way via the busy-time integral.
 	Events []AllocEvent
+
+	trace        bool
+	busySeconds  float64 // integral of busy processors over virtual time
+	lastBusy     int
+	lastBusyTime float64
 }
 
 // NewCore creates a scheduler for a cluster with total processors, using
-// the published Remap Scheduler policy.
+// the published Remap Scheduler policy and a pool shard count picked by
+// DefaultShards.
 func NewCore(total int, backfill bool) *Core {
-	return &Core{Total: total, Backfill: backfill, Policy: PaperPolicy{},
-		free: total, jobs: make(map[int]*Job)}
+	return NewCoreSharded(total, DefaultShards(total), backfill)
 }
 
+// NewCoreSharded creates a scheduler whose processor pool is split into an
+// explicit number of independently locked shards.
+func NewCoreSharded(total, shards int, backfill bool) *Core {
+	return &Core{
+		Total:    total,
+		Backfill: backfill,
+		Policy:   PaperPolicy{},
+		pool:     NewPool(total, shards),
+		jobs:     make(map[int]*Job),
+		trace:    true,
+	}
+}
+
+// DisableTrace turns off AllocEvent recording (the busy-time integral keeps
+// accumulating). Use for very large workloads where the trace itself would
+// dominate memory.
+func (c *Core) DisableTrace() { c.trace = false }
+
+// Pool exposes the sharded processor pool.
+func (c *Core) Pool() *Pool { return c.pool }
+
 // Free returns the number of idle processors.
-func (c *Core) Free() int { return c.free }
+func (c *Core) Free() int { return c.pool.Free() }
 
 // Busy returns the number of allocated processors.
-func (c *Core) Busy() int { return c.Total - c.free }
+func (c *Core) Busy() int { return c.Total - c.pool.Free() }
 
 // QueueLen returns the number of waiting jobs.
-func (c *Core) QueueLen() int { return len(c.queue) }
+func (c *Core) QueueLen() int { return c.queue.len() }
+
+// SetPolicy replaces the Remap Scheduler policy.
+func (c *Core) SetPolicy(p Policy) { c.Policy = p }
+
+// AllocEvents returns the allocation trace (nil when tracing is disabled).
+func (c *Core) AllocEvents() []AllocEvent { return c.Events }
+
+// BusySeconds returns the integral of busy processors over virtual time up
+// to the until timestamp, the numerator of the utilization metric. It is
+// exact whether or not event tracing is enabled.
+func (c *Core) BusySeconds(until float64) float64 {
+	s := c.busySeconds
+	if until > c.lastBusyTime {
+		s += float64(c.lastBusy) * (until - c.lastBusyTime)
+	}
+	return s
+}
 
 // Job looks up a job by id.
 func (c *Core) Job(id int) (*Job, bool) {
@@ -129,9 +195,17 @@ func (c *Core) Jobs() []*Job {
 }
 
 func (c *Core) record(now float64, j *Job, kind string) {
-	c.Events = append(c.Events, AllocEvent{
-		Time: now, JobID: j.ID, Job: j.Spec.Name, Kind: kind, Topo: j.Topo, Busy: c.Busy(),
-	})
+	busy := c.Busy()
+	if now > c.lastBusyTime {
+		c.busySeconds += float64(c.lastBusy) * (now - c.lastBusyTime)
+		c.lastBusyTime = now
+	}
+	c.lastBusy = busy
+	if c.trace {
+		c.Events = append(c.Events, AllocEvent{
+			Time: now, JobID: j.ID, Job: j.Spec.Name, Kind: kind, Topo: j.Topo, Busy: busy,
+		})
+	}
 }
 
 // Submit enqueues a job and immediately tries to schedule the queue. It
@@ -155,17 +229,7 @@ func (c *Core) Submit(spec JobSpec, now float64) (*Job, []*Job, error) {
 	}
 	c.nextID++
 	c.jobs[j.ID] = j
-	// Priority insertion: higher priority first, FCFS among equals.
-	pos := len(c.queue)
-	for i, q := range c.queue {
-		if j.Spec.Priority > q.Spec.Priority {
-			pos = i
-			break
-		}
-	}
-	c.queue = append(c.queue, nil)
-	copy(c.queue[pos+1:], c.queue[pos:])
-	c.queue[pos] = j
+	c.queue.push(j)
 	c.record(now, j, "submit")
 	started := c.TrySchedule(now)
 	return j, started, nil
@@ -175,45 +239,55 @@ func (c *Core) Submit(spec JobSpec, now float64) (*Job, []*Job, error) {
 // later jobs that fit when the head does not. It returns the started jobs.
 func (c *Core) TrySchedule(now float64) []*Job {
 	var started []*Job
-	for len(c.queue) > 0 {
-		head := c.queue[0]
-		if head.Spec.InitialTopo.Count() > c.free {
+	for {
+		head := c.queue.head()
+		if head == nil || head.Spec.InitialTopo.Count() > c.pool.Free() {
 			break
 		}
-		c.start(head, now)
-		c.queue = c.queue[1:]
+		if !c.start(head, now) {
+			break
+		}
 		started = append(started, head)
 	}
 	if c.Backfill {
-		kept := c.queue[:0]
-		for _, j := range c.queue {
-			if j.Spec.InitialTopo.Count() <= c.free {
-				c.start(j, now)
-				started = append(started, j)
-			} else {
-				kept = append(kept, j)
+		for {
+			j := c.queue.bestFit(c.pool.Free())
+			if j == nil {
+				break
 			}
+			if !c.start(j, now) {
+				break
+			}
+			started = append(started, j)
 		}
-		c.queue = kept
 	}
 	return started
 }
 
-func (c *Core) start(j *Job, now float64) {
+// start reserves the job's initial allocation from the pool and launches
+// it. It returns false if the pool could not satisfy the reservation (a
+// concurrent claim beat this one).
+func (c *Core) start(j *Job, now float64) bool {
+	g, ok := c.pool.Alloc(j.Spec.InitialTopo.Count())
+	if !ok {
+		return false
+	}
+	c.queue.take(j)
 	j.State = Running
 	j.StartTime = now
 	j.Topo = j.Spec.InitialTopo
-	c.free -= j.Topo.Count()
+	j.grant = g
 	c.record(now, j, "start")
+	return true
 }
 
-// queuedNeeds lists the processor requirements of waiting jobs in order.
+// queuedNeeds lists the processor requirements of the first waiting jobs in
+// queue order, capped at queuedNeedsWindow.
 func (c *Core) queuedNeeds() []int {
-	needs := make([]int, len(c.queue))
-	for i, j := range c.queue {
-		needs[i] = j.Spec.InitialTopo.Count()
+	if c.queue.len() == 0 {
+		return nil
 	}
-	return needs
+	return c.queue.needsWindow(nil, queuedNeedsWindow)
 }
 
 // Contact is the Remap Scheduler entry point: a running job reports its
@@ -248,14 +322,18 @@ func (c *Core) Contact(jobID int, topo grid.Topology, iterTime, redistTime float
 		Current:        j.Topo,
 		Chain:          j.Spec.Chain,
 		Profile:        j.Profile,
-		IdleProcs:      c.free,
+		IdleProcs:      c.pool.Free(),
 		QueuedNeeds:    c.queuedNeeds(),
 		RemainingIters: j.Spec.Iterations - done,
 	})
 	switch d.Action {
 	case ActionExpand:
 		delta := d.Target.Count() - j.Topo.Count()
-		c.free -= delta
+		if !c.pool.AllocInto(&j.grant, delta) {
+			// A concurrent reservation claimed the idle processors between
+			// the policy decision and the grant; hold steady this iteration.
+			return Decision{Action: ActionNone, Reason: "idle processors claimed concurrently"}, nil
+		}
 		j.resizeFrom = j.Topo
 		j.Topo = d.Target
 		c.record(now, j, "expand")
@@ -282,7 +360,9 @@ func (c *Core) ResizeComplete(jobID int, redistTime float64, now float64) ([]*Jo
 		j.resizeFrom = grid.Topology{}
 	}
 	if j.pendingFree > 0 {
-		c.free += j.pendingFree
+		if err := c.pool.Release(&j.grant, j.pendingFree); err != nil {
+			return nil, err
+		}
 		j.pendingFree = 0
 		return c.TrySchedule(now), nil
 	}
@@ -312,7 +392,7 @@ func (c *Core) complete(jobID int, now float64, kind string) ([]*Job, error) {
 	}
 	j.State = Done
 	j.EndTime = now
-	c.free += j.Topo.Count() + j.pendingFree
+	c.pool.ReleaseAll(&j.grant)
 	j.pendingFree = 0
 	c.record(now, j, kind)
 	return c.TrySchedule(now), nil

@@ -1,0 +1,40 @@
+// Package scheduler implements ReSHAPE's application scheduling and
+// monitoring module: job queueing with FCFS and simple backfill, the Remap
+// Scheduler's expand/shrink policy, and the Performance Profiler that
+// records per-configuration iteration times and redistribution costs.
+//
+// # Architecture
+//
+// The package is split into a passive Core (a clock-independent state
+// machine driven by explicit timestamps, shared between the real runtime
+// and the virtual-time cluster simulator) and an active Server that wraps
+// the Core with the five concurrent components described in the paper
+// (System Monitor, Application Scheduler, Job Startup, Remap Scheduler,
+// Performance Profiler).
+//
+// The Core is engineered for workloads far beyond the paper's five-job
+// mixes:
+//
+//   - Event loop. EventQueue is a deterministic priority queue of
+//     timestamped events (arrival, resize point, resize completion), and
+//     Engine dispatches them through per-kind handlers with FIFO ordering
+//     among equal timestamps. The cluster simulator (package simcluster)
+//     drives its virtual time through this loop, so 100k-job traces replay
+//     byte-identically in seconds.
+//
+//   - Indexed wait queue. The queue is a priority heap plus per-need
+//     buckets (jobQueue): finding the FCFS head, the best backfill fit, or
+//     the queue-pressure window handed to policies is O(log n) instead of
+//     a linear scan per scheduling pass.
+//
+//   - Sharded processor pool. Pool splits the cluster into independently
+//     locked partitions with a router that places allocations on the
+//     least-loaded shard and steals capacity across shards when a job
+//     expands beyond its home partition. A lock-free counter serves fit
+//     checks.
+//
+// LinearCore preserves the pre-refactor single-counter, linear-scan design
+// behind the same Interface; differential tests hold the two engines to
+// identical schedules and BenchmarkSchedulerThroughput measures the gap.
+// See DESIGN.md at the repository root for the full system picture.
+package scheduler

@@ -1,0 +1,79 @@
+package scheduler
+
+import "fmt"
+
+// Handler processes one event when its timestamp is reached.
+type Handler func(ev Event) error
+
+// Engine is the scheduler's event loop: a deterministic virtual clock over
+// an EventQueue with per-kind handlers. The cluster simulator registers its
+// arrival/resize-point/resize-done handlers and drains the loop; every state
+// mutation flows through a timestamped event, so identical inputs replay to
+// byte-identical schedules.
+type Engine struct {
+	q        EventQueue
+	now      float64
+	handlers [numEventKinds]Handler
+}
+
+// NewEngine returns an empty engine at virtual time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the engine's virtual clock: the timestamp of the most
+// recently dispatched event.
+func (e *Engine) Now() float64 { return e.now }
+
+// Pending returns the number of undelivered events.
+func (e *Engine) Pending() int { return e.q.Len() }
+
+// Handle registers the handler for an event kind, replacing any previous
+// registration.
+func (e *Engine) Handle(kind EventKind, h Handler) {
+	e.handlers[kind] = h
+}
+
+// At schedules an event at absolute virtual time t. Events scheduled in the
+// past are delivered at the current clock (time never runs backwards).
+func (e *Engine) At(t float64, kind EventKind, job int) {
+	if t < e.now {
+		t = e.now
+	}
+	e.q.Push(t, kind, job)
+}
+
+// After schedules an event d seconds after the current virtual time.
+func (e *Engine) After(d float64, kind EventKind, job int) {
+	e.At(e.now+d, kind, job)
+}
+
+// Step dispatches the single earliest pending event. It returns false when
+// the queue is empty.
+func (e *Engine) Step() (bool, error) {
+	ev, ok := e.q.Pop()
+	if !ok {
+		return false, nil
+	}
+	e.now = ev.Time
+	h := e.handlers[ev.Kind]
+	if h == nil {
+		return false, fmt.Errorf("scheduler: no handler for %v event", ev.Kind)
+	}
+	if err := h(ev); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Run drains the event queue, dispatching events in (time, insertion) order
+// until none remain or a handler fails.
+func (e *Engine) Run() error {
+	for {
+		ok, err := e.Step()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+	}
+}

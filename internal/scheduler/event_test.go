@@ -1,0 +1,134 @@
+package scheduler
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestEventQueueOrdersByTime(t *testing.T) {
+	var q EventQueue
+	times := []float64{5, 1, 3, 2, 4}
+	for i, tm := range times {
+		q.Push(tm, EvArrival, i)
+	}
+	var got []float64
+	for q.Len() > 0 {
+		e, ok := q.Pop()
+		if !ok {
+			t.Fatal("pop failed with non-empty queue")
+		}
+		got = append(got, e.Time)
+	}
+	if !sort.Float64sAreSorted(got) {
+		t.Fatalf("events out of order: %v", got)
+	}
+}
+
+// TestEventQueueFIFOAmongEqualTimestamps: events carrying the same
+// timestamp must come out in insertion order — the determinism guarantee
+// the simulator's byte-identical replays rely on.
+func TestEventQueueFIFOAmongEqualTimestamps(t *testing.T) {
+	var q EventQueue
+	const n = 100
+	for i := 0; i < n; i++ {
+		q.Push(7.0, EvResizePoint, i)
+	}
+	// Interleave earlier and later events to exercise heap movement.
+	q.Push(1.0, EvArrival, -1)
+	q.Push(9.0, EvCompletion, -2)
+	first, _ := q.Pop()
+	if first.Time != 1.0 {
+		t.Fatalf("first event at %v, want 1.0", first.Time)
+	}
+	for i := 0; i < n; i++ {
+		e, _ := q.Pop()
+		if e.Time != 7.0 || e.Job != i {
+			t.Fatalf("tie %d: got job %d at %v, want FIFO order", i, e.Job, e.Time)
+		}
+	}
+	last, _ := q.Pop()
+	if last.Time != 9.0 || q.Len() != 0 {
+		t.Fatalf("last event %+v, len %d", last, q.Len())
+	}
+}
+
+func TestEventQueueRandomizedAgainstSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var q EventQueue
+	type ref struct {
+		t   float64
+		seq int
+	}
+	var want []ref
+	for i := 0; i < 5000; i++ {
+		tm := float64(rng.Intn(50)) // many collisions
+		q.Push(tm, EvArrival, i)
+		want = append(want, ref{tm, i})
+	}
+	sort.SliceStable(want, func(i, j int) bool { return want[i].t < want[j].t })
+	for i, w := range want {
+		e, ok := q.Pop()
+		if !ok || e.Time != w.t || e.Job != w.seq {
+			t.Fatalf("pop %d: got (%v, job %d), want (%v, job %d)", i, e.Time, e.Job, w.t, w.seq)
+		}
+	}
+}
+
+func TestEnginePeekAndClock(t *testing.T) {
+	eng := NewEngine()
+	var order []int
+	eng.Handle(EvArrival, func(e Event) error {
+		order = append(order, e.Job)
+		if e.Job == 0 {
+			// Handlers may schedule more events; After is relative to the
+			// current virtual clock.
+			eng.After(5, EvArrival, 2)
+		}
+		return nil
+	})
+	eng.At(10, EvArrival, 0)
+	eng.At(12, EvArrival, 1)
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2}
+	if len(order) != len(want) {
+		t.Fatalf("order %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+	if eng.Now() != 15 {
+		t.Fatalf("clock %v, want 15", eng.Now())
+	}
+}
+
+func TestEngineRejectsUnhandledKind(t *testing.T) {
+	eng := NewEngine()
+	eng.At(1, EvCompletion, 0)
+	if err := eng.Run(); err == nil {
+		t.Fatal("expected error for unhandled event kind")
+	}
+}
+
+func TestEngineNeverRunsBackwards(t *testing.T) {
+	eng := NewEngine()
+	var times []float64
+	eng.Handle(EvArrival, func(e Event) error {
+		times = append(times, e.Time)
+		if len(times) == 1 {
+			eng.At(0, EvArrival, 99) // in the past: clamped to now
+		}
+		return nil
+	})
+	eng.At(10, EvArrival, 0)
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 2 || times[1] < times[0] {
+		t.Fatalf("times %v regress", times)
+	}
+}

@@ -1,0 +1,265 @@
+package scheduler
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+)
+
+// LinearCore is the pre-refactor scheduler core, kept as a reference
+// implementation: a single free counter and a linearly scanned wait queue.
+// Submission inserts with an O(n) shift, every scheduling pass rescans the
+// whole queue, and Contact materializes the full queued-needs list, so the
+// cost per operation grows with queue length.
+//
+// It exists for two reasons: differential tests drive LinearCore and Core
+// with identical operation sequences and require identical schedules, and
+// BenchmarkSchedulerThroughput measures the event-indexed core's speedup
+// against it. Production code paths should use Core.
+type LinearCore struct {
+	Total    int
+	Backfill bool
+	Policy   Policy
+
+	free   int
+	nextID int
+	queue  []*Job
+	jobs   map[int]*Job
+
+	Events []AllocEvent
+
+	busySeconds  float64
+	lastBusy     int
+	lastBusyTime float64
+}
+
+// NewLinearCore creates the reference scheduler for a cluster with total
+// processors.
+func NewLinearCore(total int, backfill bool) *LinearCore {
+	return &LinearCore{Total: total, Backfill: backfill, Policy: PaperPolicy{},
+		free: total, jobs: make(map[int]*Job)}
+}
+
+// Free returns the number of idle processors.
+func (c *LinearCore) Free() int { return c.free }
+
+// Busy returns the number of allocated processors.
+func (c *LinearCore) Busy() int { return c.Total - c.free }
+
+// QueueLen returns the number of waiting jobs.
+func (c *LinearCore) QueueLen() int { return len(c.queue) }
+
+// SetPolicy replaces the Remap Scheduler policy.
+func (c *LinearCore) SetPolicy(p Policy) { c.Policy = p }
+
+// AllocEvents returns the allocation trace.
+func (c *LinearCore) AllocEvents() []AllocEvent { return c.Events }
+
+// BusySeconds integrates busy processors over virtual time up to until.
+func (c *LinearCore) BusySeconds(until float64) float64 {
+	s := c.busySeconds
+	if until > c.lastBusyTime {
+		s += float64(c.lastBusy) * (until - c.lastBusyTime)
+	}
+	return s
+}
+
+// Job looks up a job by id.
+func (c *LinearCore) Job(id int) (*Job, bool) {
+	j, ok := c.jobs[id]
+	return j, ok
+}
+
+// Jobs returns all jobs in submission order.
+func (c *LinearCore) Jobs() []*Job {
+	out := make([]*Job, 0, len(c.jobs))
+	for id := 0; id < c.nextID; id++ {
+		if j, ok := c.jobs[id]; ok {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+func (c *LinearCore) record(now float64, j *Job, kind string) {
+	busy := c.Busy()
+	if now > c.lastBusyTime {
+		c.busySeconds += float64(c.lastBusy) * (now - c.lastBusyTime)
+		c.lastBusyTime = now
+	}
+	c.lastBusy = busy
+	c.Events = append(c.Events, AllocEvent{
+		Time: now, JobID: j.ID, Job: j.Spec.Name, Kind: kind, Topo: j.Topo, Busy: busy,
+	})
+}
+
+// Submit enqueues a job with a linear priority-insertion scan and
+// immediately tries to schedule the queue.
+func (c *LinearCore) Submit(spec JobSpec, now float64) (*Job, []*Job, error) {
+	if !spec.InitialTopo.IsValid() {
+		return nil, nil, fmt.Errorf("scheduler: job %q has invalid initial topology", spec.Name)
+	}
+	if spec.InitialTopo.Count() > c.Total {
+		return nil, nil, fmt.Errorf("scheduler: job %q needs %d processors, cluster has %d",
+			spec.Name, spec.InitialTopo.Count(), c.Total)
+	}
+	j := &Job{
+		ID:         c.nextID,
+		Spec:       spec,
+		State:      Queued,
+		Topo:       spec.InitialTopo,
+		Profile:    NewProfile(),
+		SubmitTime: now,
+	}
+	c.nextID++
+	c.jobs[j.ID] = j
+	pos := len(c.queue)
+	for i, q := range c.queue {
+		if j.Spec.Priority > q.Spec.Priority {
+			pos = i
+			break
+		}
+	}
+	c.queue = append(c.queue, nil)
+	copy(c.queue[pos+1:], c.queue[pos:])
+	c.queue[pos] = j
+	c.record(now, j, "submit")
+	started := c.TrySchedule(now)
+	return j, started, nil
+}
+
+// TrySchedule starts queued jobs under FCFS order with a full linear scan
+// for backfill.
+func (c *LinearCore) TrySchedule(now float64) []*Job {
+	var started []*Job
+	for len(c.queue) > 0 {
+		head := c.queue[0]
+		if head.Spec.InitialTopo.Count() > c.free {
+			break
+		}
+		c.start(head, now)
+		c.queue = c.queue[1:]
+		started = append(started, head)
+	}
+	if c.Backfill {
+		kept := c.queue[:0]
+		for _, j := range c.queue {
+			if j.Spec.InitialTopo.Count() <= c.free {
+				c.start(j, now)
+				started = append(started, j)
+			} else {
+				kept = append(kept, j)
+			}
+		}
+		c.queue = kept
+	}
+	return started
+}
+
+func (c *LinearCore) start(j *Job, now float64) {
+	j.State = Running
+	j.StartTime = now
+	j.Topo = j.Spec.InitialTopo
+	c.free -= j.Topo.Count()
+	c.record(now, j, "start")
+}
+
+// queuedNeeds lists the processor requirements of every waiting job.
+func (c *LinearCore) queuedNeeds() []int {
+	needs := make([]int, len(c.queue))
+	for i, j := range c.queue {
+		needs[i] = j.Spec.InitialTopo.Count()
+	}
+	return needs
+}
+
+// Contact is the Remap Scheduler entry point (reference implementation).
+func (c *LinearCore) Contact(jobID int, topo grid.Topology, iterTime, redistTime float64, now float64) (Decision, error) {
+	j, ok := c.jobs[jobID]
+	if !ok {
+		return Decision{}, fmt.Errorf("scheduler: unknown job %d", jobID)
+	}
+	if j.State != Running {
+		return Decision{}, fmt.Errorf("scheduler: job %d contacted while %v", jobID, j.State)
+	}
+	if topo != j.Topo {
+		return Decision{}, fmt.Errorf("scheduler: job %d reports topology %v, scheduler has %v",
+			jobID, topo, j.Topo)
+	}
+	j.Profile.RecordIteration(j.Topo, iterTime)
+
+	done := 0
+	for _, v := range j.Profile.Visits {
+		done += len(v.IterTimes)
+	}
+	pol := c.Policy
+	if pol == nil {
+		pol = PaperPolicy{}
+	}
+	d := pol.Decide(RemapInput{
+		Current:        j.Topo,
+		Chain:          j.Spec.Chain,
+		Profile:        j.Profile,
+		IdleProcs:      c.free,
+		QueuedNeeds:    c.queuedNeeds(),
+		RemainingIters: j.Spec.Iterations - done,
+	})
+	switch d.Action {
+	case ActionExpand:
+		delta := d.Target.Count() - j.Topo.Count()
+		c.free -= delta
+		j.resizeFrom = j.Topo
+		j.Topo = d.Target
+		c.record(now, j, "expand")
+	case ActionShrink:
+		j.pendingFree += j.Topo.Count() - d.Target.Count()
+		j.resizeFrom = j.Topo
+		j.Topo = d.Target
+		c.record(now, j, "shrink")
+	}
+	return d, nil
+}
+
+// ResizeComplete confirms a granted resize (reference implementation).
+func (c *LinearCore) ResizeComplete(jobID int, redistTime float64, now float64) ([]*Job, error) {
+	j, ok := c.jobs[jobID]
+	if !ok {
+		return nil, fmt.Errorf("scheduler: unknown job %d", jobID)
+	}
+	if j.resizeFrom.IsValid() {
+		j.Profile.RecordRedist(j.resizeFrom, j.Topo, redistTime)
+		j.resizeFrom = grid.Topology{}
+	}
+	if j.pendingFree > 0 {
+		c.free += j.pendingFree
+		j.pendingFree = 0
+		return c.TrySchedule(now), nil
+	}
+	return nil, nil
+}
+
+// Finish marks a job done and recycles its processors.
+func (c *LinearCore) Finish(jobID int, now float64) ([]*Job, error) {
+	return c.complete(jobID, now, "end")
+}
+
+// Fail deletes an errored job and recovers its resources.
+func (c *LinearCore) Fail(jobID int, now float64) ([]*Job, error) {
+	return c.complete(jobID, now, "error")
+}
+
+func (c *LinearCore) complete(jobID int, now float64, kind string) ([]*Job, error) {
+	j, ok := c.jobs[jobID]
+	if !ok {
+		return nil, fmt.Errorf("scheduler: unknown job %d", jobID)
+	}
+	if j.State != Running {
+		return nil, fmt.Errorf("scheduler: job %d completed (%s) while %v", jobID, kind, j.State)
+	}
+	j.State = Done
+	j.EndTime = now
+	c.free += j.Topo.Count() + j.pendingFree
+	j.pendingFree = 0
+	c.record(now, j, kind)
+	return c.TrySchedule(now), nil
+}

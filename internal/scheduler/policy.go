@@ -42,7 +42,9 @@ type RemapInput struct {
 	// IdleProcs is the number of currently unallocated processors.
 	IdleProcs int
 	// QueuedNeeds lists the processor requirements of queued jobs in queue
-	// order (head first). Empty means nothing is waiting.
+	// order (head first). Empty means nothing is waiting. The Core caps
+	// this view at a small window (the published policy only consults the
+	// head), so policies must not treat it as the whole queue.
 	QueuedNeeds []int
 	// RemainingIters is the number of outer iterations the job still has to
 	// run (0 when unknown); cost-aware policies use it to amortize

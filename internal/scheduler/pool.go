@@ -1,0 +1,242 @@
+package scheduler
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// shard is one independently locked partition of the processor pool.
+type shard struct {
+	mu   sync.Mutex
+	free int
+}
+
+// Pool is the sharded processor pool. The cluster's processors are split
+// into fixed partitions, each guarded by its own lock, so concurrent
+// allocation and release (the Server handling resize points from many jobs
+// at once) contend per-shard instead of on one global lock. A router places
+// each request on the shard with the most free capacity and steals the
+// remainder from other shards when no single shard can satisfy it — the
+// cross-shard path that lets a job expand beyond its home partition.
+//
+// A global atomic counter tracks total free capacity so fit checks
+// (Free()) never take a lock.
+type Pool struct {
+	shards []shard
+	total  int
+	free   atomic.Int64
+}
+
+// Grant records the processors a job holds on each shard. The zero value
+// holds nothing.
+type Grant struct {
+	parts []int // procs held per shard index
+}
+
+// Count returns the number of processors the grant holds.
+func (g *Grant) Count() int {
+	n := 0
+	for _, p := range g.parts {
+		n += p
+	}
+	return n
+}
+
+// Shards returns the number of distinct shards the grant spans.
+func (g *Grant) Shards() int {
+	n := 0
+	for _, p := range g.parts {
+		if p > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// DefaultShards picks a shard count for a pool: one shard per 64
+// processors, clamped to [1, 16]. Small paper-scale clusters (System X's 36
+// processors) get a single shard and behave exactly like the unsharded
+// design; large simulated clusters spread contention.
+func DefaultShards(total int) int {
+	s := total / 64
+	if s < 1 {
+		s = 1
+	}
+	if s > 16 {
+		s = 16
+	}
+	return s
+}
+
+// NewPool builds a pool of total processors split across nShards
+// partitions. Remainder processors go to the lowest-indexed shards so the
+// partition is deterministic.
+func NewPool(total, nShards int) *Pool {
+	if total < 0 {
+		total = 0
+	}
+	if nShards < 1 {
+		nShards = 1
+	}
+	if nShards > total && total > 0 {
+		nShards = total
+	}
+	p := &Pool{shards: make([]shard, nShards), total: total}
+	base, rem := 0, 0
+	if nShards > 0 {
+		base, rem = total/nShards, total%nShards
+	}
+	for i := range p.shards {
+		p.shards[i].free = base
+		if i < rem {
+			p.shards[i].free++
+		}
+	}
+	p.free.Store(int64(total))
+	return p
+}
+
+// Total returns the pool's capacity.
+func (p *Pool) Total() int { return p.total }
+
+// NumShards returns the number of partitions.
+func (p *Pool) NumShards() int { return len(p.shards) }
+
+// Free returns the total idle capacity. It is exact when the pool is
+// quiescent and a lock-free estimate while allocations are in flight.
+func (p *Pool) Free() int { return int(p.free.Load()) }
+
+// Alloc reserves n processors and returns the grant, or false if the pool
+// cannot currently satisfy the request. Placement is deterministic for a
+// single-threaded caller: the request lands on the shard with the most free
+// capacity (lowest index on ties) and steals the remainder from the other
+// shards in descending-free order.
+func (p *Pool) Alloc(n int) (Grant, bool) {
+	var g Grant
+	if !p.AllocInto(&g, n) {
+		return Grant{}, false
+	}
+	return g, true
+}
+
+// AllocInto reserves n additional processors into an existing grant (job
+// expansion). On failure the grant is left unchanged and any partial
+// reservation is rolled back.
+func (p *Pool) AllocInto(g *Grant, n int) bool {
+	if n <= 0 {
+		return n == 0
+	}
+	if int(p.free.Load()) < n {
+		return false
+	}
+	if g.parts == nil {
+		g.parts = make([]int, len(p.shards))
+	}
+	// Rank shards by free capacity (descending, index ascending on ties).
+	// The snapshot is racy under concurrency — it only orders the attempt;
+	// each take re-checks under the shard lock.
+	order := p.rankShards()
+	taken := make([]int, len(p.shards))
+	remaining := n
+	for _, si := range order {
+		if remaining == 0 {
+			break
+		}
+		remaining -= p.takeFrom(si, remaining, taken)
+	}
+	if remaining > 0 {
+		// Lost a race or fragmented below the estimate: roll back.
+		for si, k := range taken {
+			if k > 0 {
+				p.put(si, k)
+			}
+		}
+		return false
+	}
+	for si, k := range taken {
+		g.parts[si] += k
+	}
+	return true
+}
+
+// takeFrom reserves up to want processors from shard si, recording the take.
+func (p *Pool) takeFrom(si, want int, taken []int) int {
+	s := &p.shards[si]
+	s.mu.Lock()
+	k := s.free
+	if k > want {
+		k = want
+	}
+	s.free -= k
+	s.mu.Unlock()
+	if k > 0 {
+		p.free.Add(int64(-k))
+		taken[si] = k
+	}
+	return k
+}
+
+// put returns k processors to shard si.
+func (p *Pool) put(si, k int) {
+	s := &p.shards[si]
+	s.mu.Lock()
+	s.free += k
+	s.mu.Unlock()
+	p.free.Add(int64(k))
+}
+
+// rankShards returns shard indices sorted by free capacity descending,
+// index ascending on ties (insertion sort: shard counts are small).
+func (p *Pool) rankShards() []int {
+	order := make([]int, len(p.shards))
+	frees := make([]int, len(p.shards))
+	for i := range p.shards {
+		order[i] = i
+		p.shards[i].mu.Lock()
+		frees[i] = p.shards[i].free
+		p.shards[i].mu.Unlock()
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && frees[order[j]] > frees[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	return order
+}
+
+// Release returns n processors from the grant to the pool (job shrink),
+// draining the grant's largest holdings first so jobs converge back onto
+// few shards.
+func (p *Pool) Release(g *Grant, n int) error {
+	if n < 0 || n > g.Count() {
+		return fmt.Errorf("scheduler: release %d from grant of %d", n, g.Count())
+	}
+	for n > 0 {
+		// Largest part first (lowest index on ties).
+		best := -1
+		for si, k := range g.parts {
+			if k > 0 && (best < 0 || k > g.parts[best]) {
+				best = si
+			}
+		}
+		k := g.parts[best]
+		if k > n {
+			k = n
+		}
+		g.parts[best] -= k
+		p.put(best, k)
+		n -= k
+	}
+	return nil
+}
+
+// ReleaseAll returns every processor the grant holds.
+func (p *Pool) ReleaseAll(g *Grant) {
+	for si, k := range g.parts {
+		if k > 0 {
+			g.parts[si] = 0
+			p.put(si, k)
+		}
+	}
+}

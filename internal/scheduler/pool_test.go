@@ -1,0 +1,151 @@
+package scheduler
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestPoolPartitionsDeterministically(t *testing.T) {
+	p := NewPool(38, 4)
+	// 38 across 4 shards: remainder goes to the lowest-indexed shards.
+	if p.Total() != 38 || p.Free() != 38 || p.NumShards() != 4 {
+		t.Fatalf("total %d free %d shards %d", p.Total(), p.Free(), p.NumShards())
+	}
+	want := []int{10, 10, 9, 9}
+	for i, w := range want {
+		if p.shards[i].free != w {
+			t.Fatalf("shard %d holds %d, want %d", i, p.shards[i].free, w)
+		}
+	}
+}
+
+func TestPoolSingleShardAllocation(t *testing.T) {
+	p := NewPool(16, 4) // 4 per shard
+	g, ok := p.Alloc(3)
+	if !ok || g.Count() != 3 {
+		t.Fatalf("alloc: %v %d", ok, g.Count())
+	}
+	if g.Shards() != 1 {
+		t.Fatalf("a request fitting one shard must not fragment: spans %d", g.Shards())
+	}
+	if p.Free() != 13 {
+		t.Fatalf("free %d", p.Free())
+	}
+	p.ReleaseAll(&g)
+	if p.Free() != 16 || g.Count() != 0 {
+		t.Fatalf("release: free %d grant %d", p.Free(), g.Count())
+	}
+}
+
+// TestPoolCrossShardExpansion: a request larger than any single shard's
+// free capacity must steal across shards, and expansion into an existing
+// grant must do the same.
+func TestPoolCrossShardExpansion(t *testing.T) {
+	p := NewPool(16, 4)
+	g, ok := p.Alloc(10) // no shard holds 10: steal across three shards
+	if !ok || g.Count() != 10 {
+		t.Fatalf("alloc: %v %d", ok, g.Count())
+	}
+	if g.Shards() < 3 {
+		t.Fatalf("10 procs from 4-proc shards must span >= 3, got %d", g.Shards())
+	}
+	// Expand by 6: all remaining capacity, spread over the pool.
+	if !p.AllocInto(&g, 6) {
+		t.Fatal("expansion failed with exactly enough capacity")
+	}
+	if g.Count() != 16 || p.Free() != 0 {
+		t.Fatalf("grant %d free %d", g.Count(), p.Free())
+	}
+	// Over-subscription must fail cleanly without corrupting state.
+	if p.AllocInto(&g, 1) {
+		t.Fatal("alloc succeeded on an empty pool")
+	}
+	if g.Count() != 16 || p.Free() != 0 {
+		t.Fatalf("failed alloc mutated state: grant %d free %d", g.Count(), p.Free())
+	}
+	p.ReleaseAll(&g)
+	if p.Free() != 16 {
+		t.Fatalf("free %d after release", p.Free())
+	}
+}
+
+func TestPoolPartialRelease(t *testing.T) {
+	p := NewPool(12, 3)
+	g, _ := p.Alloc(9) // spans 3 shards (4+4+1 or similar)
+	if err := p.Release(&g, 5); err != nil {
+		t.Fatal(err)
+	}
+	if g.Count() != 4 || p.Free() != 8 {
+		t.Fatalf("grant %d free %d", g.Count(), p.Free())
+	}
+	if err := p.Release(&g, 5); err == nil {
+		t.Fatal("released more than the grant holds")
+	}
+	p.ReleaseAll(&g)
+	if p.Free() != 12 {
+		t.Fatalf("free %d", p.Free())
+	}
+}
+
+// TestPoolConcurrentChurn hammers the pool from many goroutines and then
+// checks conservation: after every grant is released the pool must be whole
+// and no shard may go negative.
+func TestPoolConcurrentChurn(t *testing.T) {
+	const total, shards, workers, iters = 256, 8, 16, 2000
+	p := NewPool(total, shards)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < iters; i++ {
+				n := 1 + rng.Intn(total/workers)
+				g, ok := p.Alloc(n)
+				if !ok {
+					continue
+				}
+				if g.Count() != n {
+					t.Errorf("grant %d, want %d", g.Count(), n)
+					return
+				}
+				if rng.Intn(2) == 0 {
+					p.AllocInto(&g, 1+rng.Intn(4))
+				}
+				if k := g.Count(); k > 1 {
+					if err := p.Release(&g, 1+rng.Intn(k-1)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				p.ReleaseAll(&g)
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if p.Free() != total {
+		t.Fatalf("pool leaked: free %d of %d", p.Free(), total)
+	}
+	sum := 0
+	for i := range p.shards {
+		if p.shards[i].free < 0 {
+			t.Fatalf("shard %d negative: %d", i, p.shards[i].free)
+		}
+		sum += p.shards[i].free
+	}
+	if sum != total {
+		t.Fatalf("shard sum %d != total %d", sum, total)
+	}
+}
+
+func TestDefaultShards(t *testing.T) {
+	cases := []struct{ total, want int }{
+		{0, 1}, {1, 1}, {36, 1}, {64, 1}, {128, 2}, {1024, 16}, {100000, 16},
+	}
+	for _, c := range cases {
+		if got := DefaultShards(c.total); got != c.want {
+			t.Errorf("DefaultShards(%d) = %d, want %d", c.total, got, c.want)
+		}
+	}
+}

@@ -1,14 +1,3 @@
-// Package scheduler implements ReSHAPE's application scheduling and
-// monitoring module: job queueing with FCFS and simple backfill, the Remap
-// Scheduler's expand/shrink policy, and the Performance Profiler that
-// records per-configuration iteration times and redistribution costs.
-//
-// The package is split into a passive Core (a clock-independent state
-// machine driven by explicit timestamps, shared between the real runtime
-// and the virtual-time cluster simulator) and an active Server that wraps
-// the Core with the five concurrent components described in the paper
-// (System Monitor, Application Scheduler, Job Startup, Remap Scheduler,
-// Performance Profiler).
 package scheduler
 
 import (

@@ -1,0 +1,166 @@
+package scheduler
+
+import "sort"
+
+// jobQueue is the indexed wait queue that replaces the linear-scan slice:
+// a priority heap provides the FCFS head (higher Priority first, submission
+// id among equals) in O(log n), and per-need buckets let backfill find the
+// best-ranked job that fits the idle pool without scanning the whole queue
+// — the number of distinct processor needs is small (one per chain start
+// configuration) even when hundreds of thousands of jobs wait.
+//
+// Started jobs are removed lazily: both indexes skip entries whose State
+// has left Queued, so a job started through one index costs nothing to
+// drop from the other.
+type jobQueue struct {
+	order jobHeap          // every queued job, head order
+	need  map[int]*jobHeap // processor need -> queued jobs with that need
+	needs []int            // sorted distinct keys of need (may include empty buckets)
+	size  int              // live queued jobs
+}
+
+// jobLess is the queue's total order: higher priority first, then earlier
+// submission (lower id).
+func jobLess(a, b *Job) bool {
+	if a.Spec.Priority != b.Spec.Priority {
+		return a.Spec.Priority > b.Spec.Priority
+	}
+	return a.ID < b.ID
+}
+
+// push enqueues a job into both indexes.
+func (q *jobQueue) push(j *Job) {
+	q.order.push(j)
+	n := j.Spec.InitialTopo.Count()
+	b, ok := q.need[n]
+	if !ok {
+		if q.need == nil {
+			q.need = make(map[int]*jobHeap)
+		}
+		b = &jobHeap{}
+		q.need[n] = b
+		i := sort.SearchInts(q.needs, n)
+		q.needs = append(q.needs, 0)
+		copy(q.needs[i+1:], q.needs[i:])
+		q.needs[i] = n
+	}
+	b.push(j)
+	q.size++
+}
+
+// len returns the number of live queued jobs.
+func (q *jobQueue) len() int { return q.size }
+
+// head returns the next job in FCFS order without removing it.
+func (q *jobQueue) head() *Job { return q.order.peekLive() }
+
+// take marks the job consumed. Both indexes drop it lazily: the caller
+// transitions the job out of Queued state, and stale entries are discarded
+// when they surface at a heap top.
+func (q *jobQueue) take(j *Job) {
+	q.size--
+}
+
+// bestFit returns the best-ranked queued job needing at most free
+// processors, or nil. Backfill order matches the linear scan: among all
+// fitting jobs, the one earliest in head order starts first.
+func (q *jobQueue) bestFit(free int) *Job {
+	var best *Job
+	for _, n := range q.needs {
+		if n > free {
+			break
+		}
+		if top := q.need[n].peekLive(); top != nil && (best == nil || jobLess(top, best)) {
+			best = top
+		}
+	}
+	return best
+}
+
+// needsWindow appends the processor needs of the first k queued jobs in
+// head order to dst. It walks the heap with a bounded frontier, so the cost
+// is O(k log k) regardless of queue length.
+func (q *jobQueue) needsWindow(dst []int, k int) []int {
+	if q.size == 0 || k <= 0 {
+		return dst
+	}
+	frontier := make([]int, 0, 2*k)
+	frontier = append(frontier, 0)
+	h := q.order.h
+	for len(frontier) > 0 && len(dst) < k {
+		// Extract the frontier's minimum heap index.
+		mi := 0
+		for i := 1; i < len(frontier); i++ {
+			if jobLess(h[frontier[i]], h[frontier[mi]]) {
+				mi = i
+			}
+		}
+		idx := frontier[mi]
+		frontier = append(frontier[:mi], frontier[mi+1:]...)
+		if h[idx].State == Queued {
+			dst = append(dst, h[idx].Spec.InitialTopo.Count())
+		}
+		if l := 2*idx + 1; l < len(h) {
+			frontier = append(frontier, l)
+		}
+		if r := 2*idx + 2; r < len(h) {
+			frontier = append(frontier, r)
+		}
+	}
+	return dst
+}
+
+// jobHeap is a binary min-heap of queued jobs under jobLess with lazy
+// deletion: entries whose State left Queued are discarded as they surface.
+type jobHeap struct {
+	h []*Job
+}
+
+func (p *jobHeap) push(j *Job) {
+	p.h = append(p.h, j)
+	i := len(p.h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !jobLess(p.h[i], p.h[parent]) {
+			break
+		}
+		p.h[i], p.h[parent] = p.h[parent], p.h[i]
+		i = parent
+	}
+}
+
+// peekLive discards stale entries and returns the live top, or nil.
+func (p *jobHeap) peekLive() *Job {
+	for len(p.h) > 0 {
+		if p.h[0].State == Queued {
+			return p.h[0]
+		}
+		p.pop()
+	}
+	return nil
+}
+
+func (p *jobHeap) pop() *Job {
+	top := p.h[0]
+	n := len(p.h) - 1
+	p.h[0] = p.h[n]
+	p.h[n] = nil
+	p.h = p.h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && jobLess(p.h[l], p.h[min]) {
+			min = l
+		}
+		if r < n && jobLess(p.h[r], p.h[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		p.h[i], p.h[min] = p.h[min], p.h[i]
+		i = min
+	}
+	return top
+}

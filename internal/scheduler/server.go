@@ -30,11 +30,18 @@ type Server struct {
 	done    map[int]chan struct{}
 }
 
-// NewServer wraps a Core. starter may be nil when jobs are driven
-// externally (e.g. by tests calling the client methods directly).
+// NewServer wraps a Core with a DefaultShards processor pool. starter may
+// be nil when jobs are driven externally (e.g. by tests calling the client
+// methods directly).
 func NewServer(total int, backfill bool, starter JobStarter) *Server {
+	return NewServerCore(NewCore(total, backfill), starter)
+}
+
+// NewServerCore wraps an explicitly configured Core (custom pool shard
+// count, tracing disabled, a non-default policy).
+func NewServerCore(core *Core, starter JobStarter) *Server {
 	return &Server{
-		core:    NewCore(total, backfill),
+		core:    core,
 		starter: starter,
 		epoch:   time.Now(),
 		done:    make(map[int]chan struct{}),

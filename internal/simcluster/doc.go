@@ -1,0 +1,21 @@
+// Package simcluster is the virtual-time discrete-event simulation of a
+// ReSHAPE-managed cluster. It replays job mixes against the calibrated
+// performance models of package perfmodel while driving the *same*
+// scheduler policy code (scheduler.Core) that the real runtime uses, so the
+// workload experiments of the paper (Figures 3-5, Tables 4-5) run at full
+// System X scale in milliseconds of wall clock.
+//
+// Virtual time is the scheduler's own event engine (scheduler.Engine):
+// arrivals, resize points and resize completions are timestamped events in
+// one deterministic loop, with FIFO ordering among equal timestamps, so
+// identical inputs replay to byte-identical traces. The simulator accepts
+// any scheduler.Interface implementation (WithCore), which is how
+// differential tests pin the event-indexed core to the pre-refactor
+// LinearCore and how BenchmarkSchedulerThroughput runs 100k-job generated
+// workloads through both.
+//
+// Three scheduling modes reproduce the paper's comparisons: Static pins
+// every job to its initial allocation; Dynamic resizes with the
+// message-passing redistribution cost model; DynamicCheckpoint resizes with
+// the single-node file-based checkpointing cost model.
+package simcluster

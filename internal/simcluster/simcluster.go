@@ -1,18 +1,6 @@
-// Package simcluster is the virtual-time discrete-event simulation of a
-// ReSHAPE-managed cluster. It replays job mixes against the calibrated
-// performance models of package perfmodel while driving the *same*
-// scheduler policy code (scheduler.Core) that the real runtime uses, so the
-// workload experiments of the paper (Figures 3-5, Tables 4-5) run at full
-// System X scale in milliseconds of wall clock.
-//
-// Three scheduling modes reproduce the paper's comparisons: Static pins
-// every job to its initial allocation; Dynamic resizes with the
-// message-passing redistribution cost model; DynamicCheckpoint resizes with
-// the single-node file-based checkpointing cost model.
 package simcluster
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 
@@ -100,46 +88,19 @@ type Result struct {
 	Utilization float64 // fraction of available cpu-seconds assigned to jobs
 }
 
-// event is a discrete simulation event.
-type event struct {
-	time float64
-	seq  int // tie-break for determinism
-	kind eventKind
-	job  int // scheduler job id
-}
-
-type eventKind int
-
-const (
-	evArrival eventKind = iota
-	evResizePoint
-	evResizeDone
-)
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-
-// Sim runs one simulation.
+// Sim runs one simulation. Virtual time is driven by the scheduler's own
+// event engine (scheduler.Engine): arrivals, resize points and resize
+// completions are all timestamped events in one deterministic loop.
 type Sim struct {
 	total  int
 	mode   Mode
 	params *perfmodel.Params
-	core   *scheduler.Core
+	core   scheduler.Interface
+	policy scheduler.Policy
+	eng    *scheduler.Engine
 
 	inputs  []JobInput
 	byID    map[int]*jobState
-	events  eventHeap
-	seq     int
 	pending []JobInput // not yet submitted
 }
 
@@ -152,13 +113,14 @@ type jobState struct {
 	result    *JobResult
 }
 
-// New prepares a simulation over a cluster with total processors.
+// New prepares a simulation over a cluster with total processors. The
+// default scheduler core is built lazily at Run (WithCore replaces it).
 func New(total int, mode Mode, params *perfmodel.Params, jobs []JobInput) *Sim {
 	return &Sim{
 		total:  total,
 		mode:   mode,
 		params: params,
-		core:   scheduler.NewCore(total, true),
+		eng:    scheduler.NewEngine(),
 		inputs: jobs,
 		byID:   make(map[int]*jobState),
 	}
@@ -166,44 +128,42 @@ func New(total int, mode Mode, params *perfmodel.Params, jobs []JobInput) *Sim {
 
 // WithPolicy overrides the Remap Scheduler policy for this simulation (used
 // by the policy ablation experiments); the default is the paper's policy.
+// The override is applied to the core at Run, whichever of WithPolicy and
+// WithCore is called first.
 func (s *Sim) WithPolicy(p scheduler.Policy) *Sim {
-	s.core.Policy = p
+	s.policy = p
+	return s
+}
+
+// WithCore replaces the scheduler implementation (differential tests and
+// throughput benchmarks swap in LinearCore or a custom-sharded Core). The
+// core must be freshly constructed for a cluster with the same total.
+func (s *Sim) WithCore(core scheduler.Interface) *Sim {
+	s.core = core
 	return s
 }
 
 // Run executes the simulation to completion and returns the result.
 func (s *Sim) Run() (*Result, error) {
-	heap.Init(&s.events)
+	if s.core == nil {
+		s.core = scheduler.NewCore(s.total, true)
+	}
+	if s.policy != nil {
+		s.core.SetPolicy(s.policy)
+	}
 	arrivals := append([]JobInput{}, s.inputs...)
 	sort.SliceStable(arrivals, func(i, j int) bool { return arrivals[i].Arrival < arrivals[j].Arrival })
 	s.pending = arrivals
+	s.eng.Handle(scheduler.EvArrival, s.handleArrival)
+	s.eng.Handle(scheduler.EvResizePoint, s.handleResizePoint)
+	s.eng.Handle(scheduler.EvResizeDone, s.handleResizeDone)
 	for i := range arrivals {
-		s.push(arrivals[i].Arrival, evArrival, i)
+		s.eng.At(arrivals[i].Arrival, scheduler.EvArrival, i)
 	}
-
-	for s.events.Len() > 0 {
-		e := heap.Pop(&s.events).(event)
-		switch e.kind {
-		case evArrival:
-			if err := s.handleArrival(e); err != nil {
-				return nil, err
-			}
-		case evResizePoint:
-			if err := s.handleResizePoint(e); err != nil {
-				return nil, err
-			}
-		case evResizeDone:
-			if err := s.handleResizeDone(e); err != nil {
-				return nil, err
-			}
-		}
+	if err := s.eng.Run(); err != nil {
+		return nil, err
 	}
 	return s.collect()
-}
-
-func (s *Sim) push(t float64, kind eventKind, job int) {
-	s.seq++
-	heap.Push(&s.events, event{time: t, seq: s.seq, kind: kind, job: job})
 }
 
 // startIteration schedules the next resize point for a running job.
@@ -214,13 +174,13 @@ func (s *Sim) startIteration(js *jobState, now float64) error {
 		return err
 	}
 	js.lastIter = dur
-	s.push(now+dur, evResizePoint, js.id)
+	s.eng.At(now+dur, scheduler.EvResizePoint, js.id)
 	return nil
 }
 
-func (s *Sim) handleArrival(e event) error {
-	in := s.pending[e.job]
-	job, started, err := s.core.Submit(in.Spec, e.time)
+func (s *Sim) handleArrival(e scheduler.Event) error {
+	in := s.pending[e.Job]
+	job, started, err := s.core.Submit(in.Spec, e.Time)
 	if err != nil {
 		return err
 	}
@@ -231,10 +191,10 @@ func (s *Sim) handleArrival(e event) error {
 			Name:        in.Spec.Name,
 			App:         in.Spec.App,
 			InitialProc: in.Spec.InitialTopo.Count(),
-			Submit:      e.time,
+			Submit:      e.Time,
 		},
 	}
-	return s.beginStarted(started, e.time)
+	return s.beginStarted(started, e.Time)
 }
 
 // beginStarted kicks off the first iteration of every newly started job.
@@ -252,10 +212,10 @@ func (s *Sim) beginStarted(started []*scheduler.Job, now float64) error {
 	return nil
 }
 
-func (s *Sim) handleResizePoint(e event) error {
-	js := s.byID[e.job]
-	job, _ := s.core.Job(e.job)
-	now := e.time
+func (s *Sim) handleResizePoint(e scheduler.Event) error {
+	js := s.byID[e.Job]
+	job, _ := s.core.Job(e.Job)
+	now := e.Time
 	js.itersDone++
 	rec := IterRecord{
 		Iter:     js.itersDone,
@@ -267,7 +227,7 @@ func (s *Sim) handleResizePoint(e event) error {
 	if js.itersDone >= js.input.Spec.Iterations {
 		js.result.Iters = append(js.result.Iters, rec)
 		js.result.End = now
-		started, err := s.core.Finish(e.job, now)
+		started, err := s.core.Finish(e.Job, now)
 		if err != nil {
 			return err
 		}
@@ -280,7 +240,7 @@ func (s *Sim) handleResizePoint(e event) error {
 	}
 
 	from := job.Topo
-	d, err := s.core.Contact(e.job, job.Topo, js.lastIter, js.lastRed, now)
+	d, err := s.core.Contact(e.Job, job.Topo, js.lastIter, js.lastRed, now)
 	if err != nil {
 		return err
 	}
@@ -301,26 +261,27 @@ func (s *Sim) handleResizePoint(e event) error {
 	js.result.TotalRedist += cost
 	rec.RedistSec = cost
 	js.result.Iters = append(js.result.Iters, rec)
-	s.push(now+cost, evResizeDone, e.job)
+	s.eng.At(now+cost, scheduler.EvResizeDone, e.Job)
 	return nil
 }
 
-func (s *Sim) handleResizeDone(e event) error {
-	js := s.byID[e.job]
-	started, err := s.core.ResizeComplete(e.job, js.lastRed, e.time)
+func (s *Sim) handleResizeDone(e scheduler.Event) error {
+	js := s.byID[e.Job]
+	started, err := s.core.ResizeComplete(e.Job, js.lastRed, e.Time)
 	if err != nil {
 		return err
 	}
-	if err := s.beginStarted(started, e.time); err != nil {
+	if err := s.beginStarted(started, e.Time); err != nil {
 		return err
 	}
-	return s.startIteration(js, e.time)
+	return s.startIteration(js, e.Time)
 }
 
-// collect assembles the result and computes utilization from the allocation
-// event trace.
+// collect assembles the result. Utilization comes from the core's exact
+// busy-time integral, so it is available even when event tracing is
+// disabled for very large runs.
 func (s *Sim) collect() (*Result, error) {
-	res := &Result{Mode: s.mode, Total: s.total, Events: s.core.Events}
+	res := &Result{Mode: s.mode, Total: s.total, Events: s.core.AllocEvents()}
 	for _, j := range s.core.Jobs() {
 		js := s.byID[j.ID]
 		if j.State != scheduler.Done {
@@ -331,29 +292,10 @@ func (s *Sim) collect() (*Result, error) {
 			res.Makespan = js.result.End
 		}
 	}
-	res.Utilization = utilization(s.core.Events, s.total, res.Makespan)
+	if res.Makespan > 0 && s.total > 0 {
+		res.Utilization = s.core.BusySeconds(res.Makespan) / (float64(s.total) * res.Makespan)
+	}
 	return res, nil
-}
-
-// utilization integrates the busy-processor series over [0, makespan].
-func utilization(events []scheduler.AllocEvent, total int, makespan float64) float64 {
-	if makespan <= 0 || total <= 0 {
-		return 0
-	}
-	busySeconds := 0.0
-	prevT := 0.0
-	prevBusy := 0
-	for _, e := range events {
-		if e.Time > prevT {
-			busySeconds += float64(prevBusy) * (e.Time - prevT)
-			prevT = e.Time
-		}
-		prevBusy = e.Busy
-	}
-	if makespan > prevT {
-		busySeconds += float64(prevBusy) * (makespan - prevT)
-	}
-	return busySeconds / (float64(total) * makespan)
 }
 
 // BusySeries converts the event trace into (time, busy) step points for

@@ -1,0 +1,12 @@
+// Package workload defines the paper's job mixes (Table 3) and the derived
+// metrics the evaluation section reports: per-job turnaround under static
+// and dynamic scheduling (Tables 4 and 5), processor-allocation histories
+// (Figures 4(a)/5(a)) and busy-processor traces (Figures 4(b)/5(b)).
+//
+// Beyond the two published five-job workloads, Generate produces
+// reproducible synthetic mixes — the paper's applications with exponential
+// interarrival times at arbitrary job counts — used by the load-sweep
+// experiments and by the scheduler scale benchmarks that push the
+// event-driven core to 100k+ jobs. LoadSweep answers the "does resizing
+// still help under load?" question across arrival-rate levels.
+package workload

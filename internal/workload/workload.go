@@ -1,7 +1,3 @@
-// Package workload defines the paper's job mixes (Table 3) and the derived
-// metrics the evaluation section reports: per-job turnaround under static
-// and dynamic scheduling (Tables 4 and 5), processor-allocation histories
-// (Figures 4(a)/5(a)) and busy-processor traces (Figures 4(b)/5(b)).
 package workload
 
 import (
