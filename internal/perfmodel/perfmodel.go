@@ -3,6 +3,7 @@ package perfmodel
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/grid"
 )
@@ -35,6 +36,13 @@ type Params struct {
 	// RedistCommExp is the exponent a in  bytes/(BW * min(p,q)^a)  of the
 	// redistribution model.
 	RedistCommExp float64
+	// RedistBandwidth is the measured effective redistribution rate in
+	// bytes/s (total array volume over transfer time, local copies
+	// included). Zero means uncalibrated: RedistTime falls back to the
+	// network Bandwidth. Kept separate from Bandwidth so calibration from
+	// measured redistributions cannot skew the iteration and checkpoint
+	// models, which describe pure network traffic.
+	RedistBandwidth float64
 }
 
 // SystemX returns the calibration used throughout the reproduction.
@@ -142,14 +150,21 @@ func (p *Params) RedistTime(m AppModel, from, to grid.Topology) float64 {
 	if bytes == 0 || from == to {
 		return 0
 	}
+	bw := p.Bandwidth
+	if p.RedistBandwidth > 0 {
+		bw = p.RedistBandwidth
+	}
 	minP := math.Min(float64(from.Count()), float64(to.Count()))
 	steps := float64(scheduleSteps(from, to))
-	return bytes/(p.Bandwidth*math.Pow(minP, p.RedistCommExp)) + steps*p.Latency
+	return bytes/(bw*math.Pow(minP, p.RedistCommExp)) + steps*p.Latency
 }
 
 // CheckpointTime predicts the file-based checkpoint/restart alternative:
 // all data funnels through one node, is written to and read back from disk,
-// and is scattered again — the baseline of Figure 3(b).
+// and is scattered again — the baseline of Figure 3(b). The root exchanges
+// one message with every rank of the old grid on the gather and every rank
+// of the new grid on the scatter, so the baseline responds to topology:
+// restarting onto more processors costs more message latency.
 func (p *Params) CheckpointTime(m AppModel, from, to grid.Topology) float64 {
 	bytes := float64(m.DataBytes())
 	if bytes == 0 {
@@ -157,7 +172,61 @@ func (p *Params) CheckpointTime(m AppModel, from, to grid.Topology) float64 {
 	}
 	gatherScatter := 2 * bytes / p.Bandwidth
 	diskIO := 2 * bytes / p.DiskBandwidth
-	return gatherScatter + diskIO
+	msgLatency := p.Latency * float64(from.Count()+to.Count())
+	return gatherScatter + diskIO + msgLatency
+}
+
+// RedistObservation is one measured redistribution, reported by the resize
+// library after a real (goroutine-rank) execution of the fused engine. It
+// carries exactly the quantities the RedistTime model predicts from.
+type RedistObservation struct {
+	// Bytes that crossed the network (local copies excluded).
+	Bytes float64
+	// CopiedBytes moved by local copy on overlapping grid pairs.
+	CopiedBytes float64
+	// MinProcs is min(|from|, |to|) of the grid pair.
+	MinProcs int
+	// Steps is the number of schedule steps executed.
+	Steps int
+	// Seconds is the measured wall-clock redistribution time.
+	Seconds float64
+}
+
+// CalibrateRedist refits RedistBandwidth from measured redistributions,
+// inverting the RedistTime model
+//
+//	seconds = bytes/(BW * minP^a) + steps*Latency
+//
+// per observation and taking the median estimate (robust to the odd
+// scheduler-noise outlier). RedistTime predicts from the application's
+// total data volume, so the inversion uses Bytes + CopiedBytes — the
+// calibrated rate is the effective speed at which the whole array moved,
+// local copies included, and the refit model reproduces the very
+// observations it was fitted to. Only RedistBandwidth is touched: the
+// network Bandwidth driving the iteration and checkpoint models is left
+// alone. Observations with no network traffic or with a measured time not
+// exceeding the pure-latency term are skipped. It returns the number of
+// observations used; zero leaves the params unchanged.
+func (p *Params) CalibrateRedist(obs []RedistObservation) int {
+	var ests []float64
+	for _, o := range obs {
+		transfer := o.Seconds - float64(o.Steps)*p.Latency
+		if o.Bytes <= 0 || o.MinProcs < 1 || transfer <= 0 {
+			continue
+		}
+		ests = append(ests, (o.Bytes+o.CopiedBytes)/(transfer*math.Pow(float64(o.MinProcs), p.RedistCommExp)))
+	}
+	if len(ests) == 0 {
+		return 0
+	}
+	sort.Float64s(ests)
+	mid := len(ests) / 2
+	if len(ests)%2 == 1 {
+		p.RedistBandwidth = ests[mid]
+	} else {
+		p.RedistBandwidth = (ests[mid-1] + ests[mid]) / 2
+	}
+	return len(ests)
 }
 
 // scheduleSteps counts the contention-free communication steps of the 2-D

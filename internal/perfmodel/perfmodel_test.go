@@ -216,3 +216,82 @@ func TestIterTimeUnknownApp(t *testing.T) {
 		t.Error("unknown app accepted")
 	}
 }
+
+func TestCheckpointRespondsToTopology(t *testing.T) {
+	// The checkpoint baseline funnels through one node: gathering from and
+	// scattering to more ranks pays more message latency, so the Figure 3(b)
+	// curve must rise (not stay flat) with processor count.
+	p := SystemX()
+	m := AppModel{App: "lu", N: 12000}
+	small := p.CheckpointTime(m, topo(2, 2), topo(2, 3))
+	large := p.CheckpointTime(m, topo(4, 4), topo(4, 6))
+	if large <= small {
+		t.Errorf("checkpoint 16->24 (%.6f) should cost more than 4->6 (%.6f)", large, small)
+	}
+	wantDelta := p.Latency * float64((16+24)-(4+6))
+	if got := large - small; math.Abs(got-wantDelta) > 1e-12 {
+		t.Errorf("latency delta = %.9f, want %.9f", got, wantDelta)
+	}
+}
+
+func TestCalibrateRedistRecoversBandwidth(t *testing.T) {
+	// Observations synthesized from the model with a different bandwidth
+	// must pull the params to that bandwidth exactly.
+	p := SystemX()
+	const trueBW = 2.5e8
+	var obs []RedistObservation
+	for _, c := range []struct {
+		bytes  float64
+		copied float64
+		minP   int
+		steps  int
+	}{
+		// RedistTime predicts from the full data volume, so seconds are
+		// synthesized from bytes+copied — overlapping grids (large copied
+		// share) must calibrate to the same bandwidth as disjoint ones.
+		{8e8, 0, 4, 4}, {4e8, 4e8, 12, 6}, {2.4e9, 1.2e9, 16, 8},
+	} {
+		total := c.bytes + c.copied
+		secs := total/(trueBW*math.Pow(float64(c.minP), p.RedistCommExp)) + float64(c.steps)*p.Latency
+		obs = append(obs, RedistObservation{
+			Bytes: c.bytes, CopiedBytes: c.copied, MinProcs: c.minP, Steps: c.steps, Seconds: secs,
+		})
+	}
+	netBW := p.Bandwidth
+	used := p.CalibrateRedist(obs)
+	if used != 3 {
+		t.Fatalf("used %d observations, want 3", used)
+	}
+	if math.Abs(p.RedistBandwidth-trueBW)/trueBW > 1e-9 {
+		t.Errorf("calibrated redist bandwidth %.4g, want %.4g", p.RedistBandwidth, trueBW)
+	}
+	// Calibration must not leak into the network bandwidth that drives the
+	// iteration and checkpoint models.
+	if p.Bandwidth != netBW {
+		t.Errorf("network bandwidth changed from %.4g to %.4g", netBW, p.Bandwidth)
+	}
+	// The refit model reproduces a measured redistribution: an LU array of
+	// matching volume between grids with the observed minP and steps.
+	m := AppModel{App: "lu", N: 10000} // 8e8 bytes
+	got := p.RedistTime(m, topo(2, 2), topo(3, 4))
+	want := 8e8/(trueBW*math.Pow(4, p.RedistCommExp)) + float64(scheduleSteps(topo(2, 2), topo(3, 4)))*p.Latency
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Errorf("RedistTime after calibration = %.6f, want %.6f", got, want)
+	}
+}
+
+func TestCalibrateRedistSkipsDegenerate(t *testing.T) {
+	p := SystemX()
+	orig := p.Bandwidth
+	used := p.CalibrateRedist([]RedistObservation{
+		{Bytes: 0, MinProcs: 4, Steps: 2, Seconds: 1},       // no network traffic
+		{Bytes: 1e6, MinProcs: 4, Steps: 10, Seconds: 1e-4}, // under pure latency
+		{Bytes: 1e6, MinProcs: 0, Steps: 1, Seconds: 1},     // bad topology
+	})
+	if used != 0 {
+		t.Errorf("used %d degenerate observations", used)
+	}
+	if p.Bandwidth != orig || p.RedistBandwidth != 0 {
+		t.Errorf("bandwidths changed to %v/%v on empty calibration", p.Bandwidth, p.RedistBandwidth)
+	}
+}

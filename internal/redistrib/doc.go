@@ -16,6 +16,14 @@
 // for comparison, and Resample covers the generic fallback when block
 // sizes change.
 //
+// Plan executes the schedule for a single array. MultiPlan is the fused,
+// pipelined engine the resize library uses: every registered array sharing
+// the (source grid, destination grid) pair rides one schedule execution —
+// one message per communicating pair per step, all receives armed before
+// any send — so a k-array application pays 1/k of the per-array message
+// count at every resize. The single-array path is the reference
+// implementation that differential tests pin the fused engine against.
+//
 // See DESIGN.md at the repository root for where redistribution sits in
 // the resize pipeline.
 package redistrib

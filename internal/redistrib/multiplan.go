@@ -1,0 +1,279 @@
+package redistrib
+
+import (
+	"fmt"
+
+	"repro/internal/blockcyclic"
+	"repro/internal/grid"
+	"repro/internal/mpi"
+)
+
+// tagMulti is the base tag for fused multi-array payloads. Each schedule
+// step uses tagMulti+step, so a rank can arm the receives for every step of
+// an execution before any send is posted without two in-flight messages
+// from the same peer becoming ambiguous. Tags [tagMulti, tagMulti+Steps)
+// are reserved during a MultiPlan execution.
+const tagMulti = 10000
+
+// MultiPlan fuses the redistribution of several block-cyclic arrays that
+// share one (source grid, destination grid) pair into a single schedule
+// execution: per communication step each communicating pair exchanges one
+// message carrying every array's blocks back to back, instead of one
+// message per array. The wire format is deterministic sub-buffer framing —
+// both sides compute each array's per-step block class (and therefore its
+// exact float count and offset) from the shared layout tables, so no header
+// is transmitted. Array order is the registration order and must match on
+// all ranks.
+//
+// The per-array Plan path (Plan.Execute) is retained as the reference
+// implementation; differential tests pin this engine's output bit-identical
+// to it.
+type MultiPlan struct {
+	plans []*Plan
+}
+
+// NewMultiPlan validates that every (src, dst) layout pair describes a
+// legal redistribution and that all pairs share the same processor grids,
+// then builds the fused plan. The circulant schedule tables are computed
+// once and shared across arrays (they depend only on the grid pair).
+func NewMultiPlan(srcs, dsts []blockcyclic.Layout) (*MultiPlan, error) {
+	if len(srcs) == 0 {
+		return nil, fmt.Errorf("redistrib: MultiPlan needs at least one array")
+	}
+	if len(srcs) != len(dsts) {
+		return nil, fmt.Errorf("redistrib: MultiPlan has %d source layouts but %d destination layouts", len(srcs), len(dsts))
+	}
+	first, err := NewPlan(srcs[0], dsts[0])
+	if err != nil {
+		return nil, fmt.Errorf("redistrib: array 0: %w", err)
+	}
+	plans := make([]*Plan, len(srcs))
+	plans[0] = first
+	for i := 1; i < len(srcs); i++ {
+		if srcs[i].Grid != srcs[0].Grid || dsts[i].Grid != dsts[0].Grid {
+			return nil, fmt.Errorf("redistrib: array %d grids (%v -> %v) differ from array 0 (%v -> %v)",
+				i, srcs[i].Grid, dsts[i].Grid, srcs[0].Grid, dsts[0].Grid)
+		}
+		pl, err := newPlanSharedSchedule(srcs[i], dsts[i], first)
+		if err != nil {
+			return nil, fmt.Errorf("redistrib: array %d: %w", i, err)
+		}
+		plans[i] = pl
+	}
+	return &MultiPlan{plans: plans}, nil
+}
+
+// newPlanSharedSchedule builds a Plan for one array reusing the schedule
+// and peer tables of ref, whose grids must match.
+func newPlanSharedSchedule(src, dst blockcyclic.Layout, ref *Plan) (*Plan, error) {
+	if err := src.Validate(); err != nil {
+		return nil, err
+	}
+	if err := dst.Validate(); err != nil {
+		return nil, err
+	}
+	if src.M != dst.M || src.N != dst.N {
+		return nil, fmt.Errorf("redistrib: global shape mismatch %dx%d vs %dx%d", src.M, src.N, dst.M, dst.N)
+	}
+	if src.MB != dst.MB || src.NB != dst.NB {
+		return nil, fmt.Errorf("redistrib: block shape mismatch %dx%d vs %dx%d", src.MB, src.NB, dst.MB, dst.NB)
+	}
+	return &Plan{
+		Src: src, Dst: dst,
+		rowSched: ref.rowSched, colSched: ref.colSched,
+		rowSendTo: ref.rowSendTo, rowRecvFrom: ref.rowRecvFrom,
+		colSendTo: ref.colSendTo, colRecvFrom: ref.colRecvFrom,
+	}, nil
+}
+
+// Arrays returns the number of fused arrays.
+func (mp *MultiPlan) Arrays() int { return len(mp.plans) }
+
+// Steps returns the number of communication steps in the shared schedule.
+func (mp *MultiPlan) Steps() int { return mp.plans[0].Steps() }
+
+// SrcGrid and DstGrid return the shared grid pair.
+func (mp *MultiPlan) SrcGrid() grid.Topology { return mp.plans[0].Src.Grid }
+func (mp *MultiPlan) DstGrid() grid.Topology { return mp.plans[0].Dst.Grid }
+
+// incoming describes one step's inbound fused payload on the receiving
+// rank: the per-array block classes and sizes that frame the wire buffer.
+type incoming struct {
+	step      int
+	buf       []float64 // filled by the armed receive, or the self-transfer
+	sizes     []int     // per-array float counts (framing offsets)
+	rowBlocks [][]int   // per-array row block classes
+	colBlocks [][]int
+	self      bool
+}
+
+// Execute redistributes every fused array at once. srcData holds the
+// caller's local piece of each array in plan order (entries may be nil on
+// ranks outside the source grid or with empty local pieces); the result
+// holds the new local pieces (nil entries on ranks outside the destination
+// grid). Collective over c, like Plan.Execute.
+func (mp *MultiPlan) Execute(c *mpi.Comm, srcData [][]float64) [][]float64 {
+	out, _ := mp.ExecuteStats(c, srcData)
+	return out
+}
+
+// ExecuteStats is Execute plus per-rank traffic statistics. The execution
+// is pipelined: the rank arms every receive of the whole schedule first
+// (persistent requests started as a batch), then packs and posts its sends
+// step by step, and only then waits and unpacks — pack, send, recv and
+// unpack of different steps overlap instead of serializing.
+func (mp *MultiPlan) ExecuteStats(c *mpi.Comm, srcData [][]float64) ([][]float64, Stats) {
+	base := mp.plans[0]
+	me := c.Rank()
+	p := base.Src.Grid.Count()
+	q := base.Dst.Grid.Count()
+	if c.Size() < p || c.Size() < q {
+		panic(fmt.Sprintf("redistrib: communicator size %d smaller than grids (%d src, %d dst)", c.Size(), p, q))
+	}
+	if len(srcData) != len(mp.plans) {
+		panic(fmt.Sprintf("redistrib: %d source slices for %d fused arrays", len(srcData), len(mp.plans)))
+	}
+	inSrc := me < p
+	inDst := me < q
+	if inSrc {
+		for a, pl := range mp.plans {
+			if len(srcData[a]) != pl.Src.LocalSize(me) {
+				panic(fmt.Sprintf("redistrib: rank %d array %d has %d floats, layout expects %d",
+					me, a, len(srcData[a]), pl.Src.LocalSize(me)))
+			}
+		}
+	}
+
+	var stats Stats
+	dstData := make([][]float64, len(mp.plans))
+	if inDst {
+		for a, pl := range mp.plans {
+			dstData[a] = make([]float64, pl.Dst.LocalSize(me))
+		}
+	}
+
+	var sr, sc, dr, dc int
+	if inSrc {
+		sr, sc = base.Src.Coords(me)
+	}
+	if inDst {
+		dr, dc = base.Dst.Coords(me)
+	}
+	nc := len(base.colSched)
+
+	// Phase 1: compute every inbound step and arm the remote receives as one
+	// persistent-request batch before posting any send.
+	var pending []*incoming
+	selfByStep := make(map[int]*incoming)
+	var recvSet mpi.RequestSet
+	if inDst {
+		for tr := range base.rowSched {
+			for tc := 0; tc < nc; tc++ {
+				fromRow := base.rowRecvFrom[tr][dr]
+				fromCol := base.colRecvFrom[tc][dc]
+				if fromRow < 0 || fromCol < 0 {
+					continue
+				}
+				in := &incoming{
+					step:      tr*nc + tc,
+					sizes:     make([]int, len(mp.plans)),
+					rowBlocks: make([][]int, len(mp.plans)),
+					colBlocks: make([][]int, len(mp.plans)),
+				}
+				total := 0
+				for a, pl := range mp.plans {
+					rb := classBlocks(pl.Src.BlockRows(), pl.Src.Grid.Rows, fromRow, pl.Dst.Grid.Rows, dr)
+					cb := classBlocks(pl.Src.BlockCols(), pl.Src.Grid.Cols, fromCol, pl.Dst.Grid.Cols, dc)
+					in.rowBlocks[a], in.colBlocks[a] = rb, cb
+					in.sizes[a] = pl.payloadSize(rb, cb)
+					total += in.sizes[a]
+				}
+				if total == 0 {
+					continue
+				}
+				source := base.Src.Rank(fromRow, fromCol)
+				if source == me {
+					in.self = true
+					selfByStep[in.step] = in
+				} else {
+					in.buf = make([]float64, total)
+					recvSet.AddRecv(c, source, tagMulti+in.step, in.buf)
+					stats.MessagesRecv++
+					stats.FloatsRecv += total
+				}
+				pending = append(pending, in)
+			}
+		}
+	}
+	recvSet.Startall()
+
+	// Phase 2: pack and post the sends. One message per communicating pair
+	// per step carries every array's blocks; sends complete eagerly while
+	// the armed receives drain concurrently.
+	if inSrc {
+		sendRB := make([][]int, len(mp.plans))
+		sendCB := make([][]int, len(mp.plans))
+		for tr := range base.rowSched {
+			for tc := 0; tc < nc; tc++ {
+				toRow := base.rowSendTo[tr][sr]
+				toCol := base.colSendTo[tc][sc]
+				if toRow < 0 || toCol < 0 {
+					continue
+				}
+				total := 0
+				for a, pl := range mp.plans {
+					rb := classBlocks(pl.Src.BlockRows(), pl.Src.Grid.Rows, sr, pl.Dst.Grid.Rows, toRow)
+					cb := classBlocks(pl.Src.BlockCols(), pl.Src.Grid.Cols, sc, pl.Dst.Grid.Cols, toCol)
+					sendRB[a], sendCB[a] = rb, cb
+					total += pl.payloadSize(rb, cb)
+				}
+				if total == 0 {
+					continue
+				}
+				buf := make([]float64, 0, total)
+				for a, pl := range mp.plans {
+					if len(sendRB[a]) == 0 || len(sendCB[a]) == 0 {
+						continue
+					}
+					buf = pl.packAppend(buf, srcData[a], sr, sc, sendRB[a], sendCB[a])
+				}
+				step := tr*nc + tc
+				dest := base.Dst.Rank(toRow, toCol)
+				if dest == me {
+					selfByStep[step].buf = buf
+					stats.LocalCopies++
+					stats.FloatsCopied += len(buf)
+				} else {
+					c.SendInit(dest, tagMulti+step, buf).Start()
+					stats.MessagesSent++
+					stats.FloatsSent += len(buf)
+				}
+			}
+		}
+	}
+
+	// Phase 3: wait for the batch and unpack every inbound step, slicing
+	// each fused buffer at the per-array offsets both sides derived from the
+	// layout tables.
+	recvSet.Waitall()
+	for _, in := range pending {
+		off := 0
+		for a, pl := range mp.plans {
+			if in.sizes[a] > 0 {
+				pl.unpack(in.buf[off:off+in.sizes[a]], dstData[a], dr, dc, in.rowBlocks[a], in.colBlocks[a])
+			}
+			off += in.sizes[a]
+		}
+	}
+	return dstData, stats
+}
+
+// RedistributeMulti is the one-shot convenience wrapper over NewMultiPlan +
+// Execute, mirroring Redistribute for the fused engine.
+func RedistributeMulti(c *mpi.Comm, srcs []blockcyclic.Layout, srcData [][]float64, dsts []blockcyclic.Layout) ([][]float64, error) {
+	mp, err := NewMultiPlan(srcs, dsts)
+	if err != nil {
+		return nil, err
+	}
+	return mp.Execute(c, srcData), nil
+}

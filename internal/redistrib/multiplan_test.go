@@ -1,0 +1,278 @@
+package redistrib
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/blockcyclic"
+	"repro/internal/grid"
+	"repro/internal/mpi"
+)
+
+// runFusedVsReference distributes random global matrices for every array,
+// executes both the fused MultiPlan engine and the per-array reference
+// path on the same inputs, and requires bit-identical outputs (also checked
+// against a direct distribution under the destination layouts).
+func runFusedVsReference(srcs, dsts []blockcyclic.Layout, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	n := len(srcs)
+	globals := make([][]float64, n)
+	srcPieces := make([][]*blockcyclic.Matrix, n)
+	wantPieces := make([][]*blockcyclic.Matrix, n)
+	for a := 0; a < n; a++ {
+		globals[a] = make([]float64, srcs[a].M*srcs[a].N)
+		for i := range globals[a] {
+			globals[a][i] = rng.NormFloat64()
+		}
+		srcPieces[a] = blockcyclic.Distribute(globals[a], srcs[a])
+		wantPieces[a] = blockcyclic.Distribute(globals[a], dsts[a])
+	}
+	mp, err := NewMultiPlan(srcs, dsts)
+	if err != nil {
+		return err
+	}
+	refPlans := make([]*Plan, n)
+	for a := 0; a < n; a++ {
+		if refPlans[a], err = NewPlan(srcs[a], dsts[a]); err != nil {
+			return err
+		}
+	}
+	p, q := srcs[0].Grid.Count(), dsts[0].Grid.Count()
+	world := p
+	if q > world {
+		world = q
+	}
+	return mpi.Run(world, func(c *mpi.Comm) error {
+		mine := make([][]float64, n)
+		if c.Rank() < p {
+			for a := 0; a < n; a++ {
+				mine[a] = srcPieces[a][c.Rank()].Data
+			}
+		}
+		fused := mp.Execute(c, mine)
+		for a := 0; a < n; a++ {
+			ref := refPlans[a].Execute(c, mine[a])
+			if c.Rank() >= q {
+				if fused[a] != nil || ref != nil {
+					return fmt.Errorf("rank %d outside dst grid received data for array %d", c.Rank(), a)
+				}
+				continue
+			}
+			want := wantPieces[a][c.Rank()].Data
+			if len(fused[a]) != len(want) || len(ref) != len(want) {
+				return fmt.Errorf("array %d rank %d: fused %d ref %d want %d floats",
+					a, c.Rank(), len(fused[a]), len(ref), len(want))
+			}
+			for i := range want {
+				if fused[a][i] != ref[i] {
+					return fmt.Errorf("array %d rank %d: fused[%d]=%v differs from reference %v",
+						a, c.Rank(), i, fused[a][i], ref[i])
+				}
+				if fused[a][i] != want[i] {
+					return fmt.Errorf("array %d rank %d: fused[%d]=%v, ground truth %v",
+						a, c.Rank(), i, fused[a][i], want[i])
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// TestMultiPlanDifferentialRandomized pins the fused engine bit-identical
+// to the per-array reference path across randomized (shape, grid-pair,
+// array-count) cases.
+func TestMultiPlanDifferentialRandomized(t *testing.T) {
+	const cases = 24
+	rng := rand.New(rand.NewSource(42))
+	for cse := 0; cse < cases; cse++ {
+		from := grid.Topology{Rows: rng.Intn(3) + 1, Cols: rng.Intn(3) + 1}
+		to := grid.Topology{Rows: rng.Intn(3) + 1, Cols: rng.Intn(3) + 1}
+		nArrays := rng.Intn(4) + 1
+		srcs := make([]blockcyclic.Layout, nArrays)
+		dsts := make([]blockcyclic.Layout, nArrays)
+		for a := 0; a < nArrays; a++ {
+			m, n := rng.Intn(20)+1, rng.Intn(20)+1
+			mb, nb := rng.Intn(4)+1, rng.Intn(4)+1
+			srcs[a] = blockcyclic.Layout{M: m, N: n, MB: mb, NB: nb, Grid: from}
+			dsts[a] = blockcyclic.Layout{M: m, N: n, MB: mb, NB: nb, Grid: to}
+		}
+		if err := runFusedVsReference(srcs, dsts, int64(1000+cse)); err != nil {
+			t.Fatalf("case %d (%v -> %v, %d arrays): %v", cse, from, to, nArrays, err)
+		}
+	}
+}
+
+func TestMultiPlanSingleArrayMatchesPlan(t *testing.T) {
+	src := []blockcyclic.Layout{{M: 13, N: 11, MB: 3, NB: 2, Grid: grid.Topology{Rows: 2, Cols: 2}}}
+	dst := []blockcyclic.Layout{{M: 13, N: 11, MB: 3, NB: 2, Grid: grid.Topology{Rows: 3, Cols: 2}}}
+	if err := runFusedVsReference(src, dst, 7); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiPlanMixedShapes(t *testing.T) {
+	// Arrays with different global and block shapes fused onto one grid
+	// pair, as an application registering A, B and a vector would produce.
+	from, to := grid.Topology{Rows: 2, Cols: 2}, grid.Topology{Rows: 2, Cols: 3}
+	srcs := []blockcyclic.Layout{
+		{M: 16, N: 16, MB: 2, NB: 2, Grid: from},
+		{M: 9, N: 7, MB: 3, NB: 1, Grid: from},
+		{M: 16, N: 1, MB: 2, NB: 1, Grid: from},
+	}
+	dsts := make([]blockcyclic.Layout, len(srcs))
+	for i, s := range srcs {
+		s.Grid = to
+		dsts[i] = s
+	}
+	if err := runFusedVsReference(srcs, dsts, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// countMessages sums a per-rank traffic statistic across all ranks.
+func sumStats(t *testing.T, world int, run func(c *mpi.Comm) Stats) Stats {
+	t.Helper()
+	ch := make(chan Stats, world)
+	err := mpi.Run(world, func(c *mpi.Comm) error {
+		ch <- run(c)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(ch)
+	var total Stats
+	for s := range ch {
+		total.Add(s)
+	}
+	return total
+}
+
+// TestMultiPlanFusesMessages is the acceptance gate for the fused engine:
+// for 3 arrays it must send at least 2x fewer (here exactly 3x fewer)
+// messages than per-array execution of the same redistribution.
+func TestMultiPlanFusesMessages(t *testing.T) {
+	from, to := grid.Topology{Rows: 2, Cols: 2}, grid.Topology{Rows: 2, Cols: 3}
+	const nArrays = 3
+	srcs := make([]blockcyclic.Layout, nArrays)
+	dsts := make([]blockcyclic.Layout, nArrays)
+	srcPieces := make([][]*blockcyclic.Matrix, nArrays)
+	rng := rand.New(rand.NewSource(3))
+	for a := 0; a < nArrays; a++ {
+		srcs[a] = blockcyclic.Layout{M: 12, N: 12, MB: 2, NB: 2, Grid: from}
+		dsts[a] = blockcyclic.Layout{M: 12, N: 12, MB: 2, NB: 2, Grid: to}
+		global := make([]float64, 144)
+		for i := range global {
+			global[i] = rng.NormFloat64()
+		}
+		srcPieces[a] = blockcyclic.Distribute(global, srcs[a])
+	}
+	mp, err := NewMultiPlan(srcs, dsts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := make([]*Plan, nArrays)
+	for a := range plans {
+		if plans[a], err = NewPlan(srcs[a], dsts[a]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	fused := sumStats(t, 6, func(c *mpi.Comm) Stats {
+		mine := make([][]float64, nArrays)
+		if c.Rank() < 4 {
+			for a := 0; a < nArrays; a++ {
+				mine[a] = srcPieces[a][c.Rank()].Data
+			}
+		}
+		_, st := mp.ExecuteStats(c, mine)
+		return st
+	})
+	perArray := sumStats(t, 6, func(c *mpi.Comm) Stats {
+		var total Stats
+		for a := 0; a < nArrays; a++ {
+			var mine []float64
+			if c.Rank() < 4 {
+				mine = srcPieces[a][c.Rank()].Data
+			}
+			_, st := plans[a].ExecuteStats(c, mine)
+			total.Add(st)
+		}
+		return total
+	})
+
+	if fused.MessagesSent >= perArray.MessagesSent {
+		t.Fatalf("fused engine sent %d messages, per-array %d", fused.MessagesSent, perArray.MessagesSent)
+	}
+	if 2*fused.MessagesSent > perArray.MessagesSent {
+		t.Errorf("fused engine sent %d messages, want <= half of per-array %d",
+			fused.MessagesSent, perArray.MessagesSent)
+	}
+	if fused.FloatsSent != perArray.FloatsSent {
+		t.Errorf("fused moved %d floats over the network, per-array %d", fused.FloatsSent, perArray.FloatsSent)
+	}
+	if fused.FloatsSent+fused.FloatsCopied != nArrays*144 {
+		t.Errorf("sent %d + copied %d floats, want every element accounted (%d)",
+			fused.FloatsSent, fused.FloatsCopied, nArrays*144)
+	}
+}
+
+func TestMultiPlanIdentityGridAllLocal(t *testing.T) {
+	l := blockcyclic.Layout{M: 10, N: 10, MB: 2, NB: 2, Grid: grid.Topology{Rows: 2, Cols: 2}}
+	srcs := []blockcyclic.Layout{l, l}
+	rng := rand.New(rand.NewSource(9))
+	globals := make([][]float64, 2)
+	pieces := make([][]*blockcyclic.Matrix, 2)
+	for a := range globals {
+		globals[a] = make([]float64, 100)
+		for i := range globals[a] {
+			globals[a][i] = rng.Float64()
+		}
+		pieces[a] = blockcyclic.Distribute(globals[a], l)
+	}
+	mp, err := NewMultiPlan(srcs, srcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := sumStats(t, 4, func(c *mpi.Comm) Stats {
+		mine := [][]float64{pieces[0][c.Rank()].Data, pieces[1][c.Rank()].Data}
+		got, st := mp.ExecuteStats(c, mine)
+		for a := range mine {
+			for i := range mine[a] {
+				if got[a][i] != mine[a][i] {
+					t.Errorf("rank %d array %d differs at %d", c.Rank(), a, i)
+				}
+			}
+		}
+		return st
+	})
+	if total.MessagesSent != 0 || total.MessagesRecv != 0 {
+		t.Errorf("identity fused redistribution sent %d/recv %d messages", total.MessagesSent, total.MessagesRecv)
+	}
+	if total.FloatsCopied != 200 {
+		t.Errorf("identity fused redistribution copied %d floats, want 200", total.FloatsCopied)
+	}
+}
+
+func TestNewMultiPlanRejectsBadInputs(t *testing.T) {
+	g22 := grid.Topology{Rows: 2, Cols: 2}
+	g23 := grid.Topology{Rows: 2, Cols: 3}
+	a := blockcyclic.Layout{M: 8, N: 8, MB: 2, NB: 2, Grid: g22}
+	b := blockcyclic.Layout{M: 8, N: 8, MB: 2, NB: 2, Grid: g23}
+	if _, err := NewMultiPlan(nil, nil); err == nil {
+		t.Error("empty array set accepted")
+	}
+	if _, err := NewMultiPlan([]blockcyclic.Layout{a, a}, []blockcyclic.Layout{b}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	// Second array on a different source grid must be rejected.
+	if _, err := NewMultiPlan([]blockcyclic.Layout{a, b}, []blockcyclic.Layout{b, b}); err == nil {
+		t.Error("mismatched grid pair accepted")
+	}
+	// Per-array shape mismatches still surface through the shared-schedule path.
+	c := blockcyclic.Layout{M: 8, N: 10, MB: 2, NB: 2, Grid: g23}
+	if _, err := NewMultiPlan([]blockcyclic.Layout{a, a}, []blockcyclic.Layout{b, c}); err == nil {
+		t.Error("mismatched global shape accepted")
+	}
+}

@@ -82,7 +82,22 @@ type Stats struct {
 	MessagesRecv int
 	FloatsSent   int
 	FloatsRecv   int
+	// LocalCopies counts self-transfers (the rank keeps a block class across
+	// the resize); FloatsCopied is the volume those self-transfers moved, so
+	// total data motion is FloatsSent + FloatsCopied even when the grids
+	// overlap heavily.
 	LocalCopies  int
+	FloatsCopied int
+}
+
+// Add accumulates other into s (summing per-array or per-execution stats).
+func (s *Stats) Add(other Stats) {
+	s.MessagesSent += other.MessagesSent
+	s.MessagesRecv += other.MessagesRecv
+	s.FloatsSent += other.FloatsSent
+	s.FloatsRecv += other.FloatsRecv
+	s.LocalCopies += other.LocalCopies
+	s.FloatsCopied += other.FloatsCopied
 }
 
 // Execute redistributes the caller's piece of the global array. Every rank
@@ -142,6 +157,7 @@ func (pl *Plan) ExecuteStats(c *mpi.Comm, srcData []float64) ([]float64, Stats) 
 						if dest == me {
 							selfBuf = buf
 							stats.LocalCopies++
+							stats.FloatsCopied += len(buf)
 						} else {
 							req := c.SendInit(dest, tagData, buf)
 							req.Start()
@@ -212,9 +228,15 @@ func (pl *Plan) payloadSize(rowBlocks, colBlocks []int) int {
 // pack serializes the listed blocks from a source-local array in
 // deterministic (bi, bj, row-major) order.
 func (pl *Plan) pack(data []float64, prow, pcol int, rowBlocks, colBlocks []int) []float64 {
+	buf := make([]float64, 0, pl.payloadSize(rowBlocks, colBlocks))
+	return pl.packAppend(buf, data, prow, pcol, rowBlocks, colBlocks)
+}
+
+// packAppend is pack writing into an existing buffer — the fused multi-array
+// engine appends every array's blocks for a step into one wire buffer.
+func (pl *Plan) packAppend(buf, data []float64, prow, pcol int, rowBlocks, colBlocks []int) []float64 {
 	l := pl.Src
 	stride := l.LocalCols(pcol)
-	buf := make([]float64, 0, pl.payloadSize(rowBlocks, colBlocks))
 	for _, bi := range rowBlocks {
 		h := l.BlockHeight(bi)
 		li0 := (bi / l.Grid.Rows) * l.MB

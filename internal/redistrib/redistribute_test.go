@@ -124,6 +124,10 @@ func TestRedistributeIdentityGrid(t *testing.T) {
 		if stats.MessagesSent != 0 || stats.MessagesRecv != 0 {
 			return fmt.Errorf("identity redistribution sent %d/recv %d messages", stats.MessagesSent, stats.MessagesRecv)
 		}
+		if stats.FloatsCopied != len(pieces[c.Rank()].Data) {
+			return fmt.Errorf("rank %d copied %d floats locally, want %d",
+				c.Rank(), stats.FloatsCopied, len(pieces[c.Rank()].Data))
+		}
 		want := pieces[c.Rank()].Data
 		for i := range want {
 			if got[i] != want[i] {
@@ -218,28 +222,35 @@ func TestExecuteStatsCountsTraffic(t *testing.T) {
 		global[i] = float64(i)
 	}
 	pieces := blockcyclic.Distribute(global, src)
-	total := make(chan int, 4)
+	total := make(chan Stats, 4)
 	err = mpi.Run(4, func(c *mpi.Comm) error {
 		var mine []float64
 		if c.Rank() < 2 {
 			mine = pieces[c.Rank()].Data
 		}
 		_, stats := pl.ExecuteStats(c, mine)
-		total <- stats.FloatsSent
+		total <- stats
 		return nil
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	close(total)
-	sum := 0
+	var sum Stats
 	for v := range total {
-		sum += v
+		sum.Add(v)
 	}
 	// Half the matrix stays on ranks 0-1 (local rows), half moves to the new
-	// grid row: exactly 32 floats must cross.
-	if sum != 32 {
-		t.Errorf("total floats sent = %d, want 32", sum)
+	// grid row: exactly 32 floats must cross and the other 32 move by local
+	// copy, so sent + copied accounts for every element.
+	if sum.FloatsSent != 32 {
+		t.Errorf("total floats sent = %d, want 32", sum.FloatsSent)
+	}
+	if sum.FloatsCopied != 32 {
+		t.Errorf("total floats copied locally = %d, want 32", sum.FloatsCopied)
+	}
+	if sum.FloatsSent+sum.FloatsCopied != 64 {
+		t.Errorf("sent %d + copied %d != 64 elements", sum.FloatsSent, sum.FloatsCopied)
 	}
 }
 

@@ -17,6 +17,14 @@
 //  4. reports the measured redistribution cost back to the scheduler so the
 //     Performance Profiler can weigh future resizing decisions.
 //
+// All registered arrays move in one fused redistribution (one message per
+// communicating processor pair per schedule step, every array's blocks on
+// board — redistrib.MultiPlan), and the plans are cached per (from, to)
+// topology pair, so repeated oscillation between the same grids pays the
+// schedule-table construction once. Measured costs are additionally kept as
+// perfmodel.RedistObservation records (see RedistObservations) to calibrate
+// the analytic redistribution model against real executions.
+//
 // The advanced API (ContactScheduler, ExpandProcessors, ShrinkProcessors,
 // RedistributeAll) exposes the individual stages of Figure 1(b).
 package resize
@@ -29,6 +37,7 @@ import (
 	"repro/internal/blockcyclic"
 	"repro/internal/grid"
 	"repro/internal/mpi"
+	"repro/internal/perfmodel"
 	"repro/internal/redistrib"
 	"repro/internal/scheduler"
 )
@@ -80,6 +89,13 @@ const (
 // s.Arrays()/s.Replicated and loops: iterate, then s.Resize.
 type Worker func(s *Session) error
 
+// planKey identifies a redistribution plan by its grid pair. Plans also
+// depend on the registered array set, so the cache is invalidated whenever
+// an array is registered.
+type planKey struct {
+	from, to grid.Topology
+}
+
 // Session is a rank's handle on the resizing library.
 type Session struct {
 	client Client
@@ -93,9 +109,16 @@ type Session struct {
 	arrays     []*Array
 	replicated map[string][]float64
 
+	// planCache holds fused redistribution plans keyed by (from, to)
+	// topology, so oscillating between the same grids — the paper's
+	// shrink/expand cycles around a sweet spot — stops rebuilding the
+	// schedule tables on every resize.
+	planCache map[planKey]*redistrib.MultiPlan
+
 	iter       int
 	lastRedist float64
 	log        []IterationRecord
+	redistObs  []perfmodel.RedistObservation // rank 0 only
 }
 
 // IterationRecord is one entry of the simple API's log.
@@ -146,8 +169,11 @@ func (s *Session) LastRedist() float64 { return s.lastRedist }
 
 // RegisterArray adds a global array to the set redistributed at every
 // resize. All ranks must register the same arrays in the same order.
+// Registering invalidates any cached redistribution plans, which fuse the
+// whole array set.
 func (s *Session) RegisterArray(a *Array) {
 	s.arrays = append(s.arrays, a)
+	s.planCache = nil
 }
 
 // Arrays returns the registered arrays (with current local pieces).
@@ -325,7 +351,7 @@ func (s *Session) ExpandProcessors(target grid.Topology) error {
 	merged := ic.Merge()
 	// Rank 0 of the old comm is rank 0 of the merged comm: publish bootstrap.
 	merged.Bcast(0, boot)
-	if err := redistributeAll(merged, s.arrays, s.topo, target); err != nil {
+	if err := s.redistribute(merged, s.topo, target); err != nil {
 		return err
 	}
 	ctx, err := blacs.New(merged, target)
@@ -354,7 +380,7 @@ func (s *Session) ShrinkProcessors(target grid.Topology) (Status, error) {
 		return Continue, fmt.Errorf("resize: shrink target %v not smaller than current %v", target, s.topo)
 	}
 	start := time.Now()
-	if err := redistributeAll(s.comm, s.arrays, s.topo, target); err != nil {
+	if err := s.redistribute(s.comm, s.topo, target); err != nil {
 		return Continue, err
 	}
 	survivors := make([]int, target.Count())
@@ -382,26 +408,138 @@ func (s *Session) ShrinkProcessors(target grid.Topology) (Status, error) {
 	return Continue, nil
 }
 
-// redistributeAll moves every registered array from the old to the new
-// topology over comm, updating Data in place. Ranks outside the new grid
-// end with nil Data.
-func redistributeAll(comm *mpi.Comm, arrays []*Array, from, to grid.Topology) error {
-	for _, a := range arrays {
-		newData, err := redistrib.Redistribute(comm, a.LayoutFor(from), a.Data, a.LayoutFor(to))
-		if err != nil {
-			return fmt.Errorf("resize: redistribute %q: %w", a.Name, err)
+// newMultiPlan builds the fused redistribution plan for an array set
+// between two topologies.
+func newMultiPlan(arrays []*Array, from, to grid.Topology) (*redistrib.MultiPlan, error) {
+	srcs := make([]blockcyclic.Layout, len(arrays))
+	dsts := make([]blockcyclic.Layout, len(arrays))
+	for i, a := range arrays {
+		srcs[i] = a.LayoutFor(from)
+		dsts[i] = a.LayoutFor(to)
+	}
+	mp, err := redistrib.NewMultiPlan(srcs, dsts)
+	if err != nil {
+		return nil, fmt.Errorf("resize: plan redistribution: %w", err)
+	}
+	return mp, nil
+}
+
+// measuredRedist is the cluster-wide outcome of one fused redistribution.
+type measuredRedist struct {
+	seconds      float64
+	floatsSent   float64 // allreduced network volume
+	floatsCopied float64 // allreduced local-copy volume
+	steps        int
+}
+
+// redistributeFused moves every array from the old to the new topology over
+// comm with one fused MultiPlan execution, updating Data in place (ranks
+// outside the new grid end with nil Data). It is collective: every rank of
+// comm — including ranks bootstrapping from an expansion — must call it
+// with the same array set, because traffic totals are allreduced for the
+// performance profile. A nil mp builds a fresh plan (the uncached path).
+func redistributeFused(comm *mpi.Comm, arrays []*Array, from, to grid.Topology, mp *redistrib.MultiPlan) (measuredRedist, error) {
+	if len(arrays) == 0 {
+		return measuredRedist{}, nil
+	}
+	start := time.Now()
+	if mp == nil {
+		var err error
+		if mp, err = newMultiPlan(arrays, from, to); err != nil {
+			return measuredRedist{}, err
 		}
-		a.Data = newData
+	}
+	srcData := make([][]float64, len(arrays))
+	for i, a := range arrays {
+		srcData[i] = a.Data
+	}
+	newData, stats := mp.ExecuteStats(comm, srcData)
+	for i, a := range arrays {
+		a.Data = newData[i]
+	}
+	totals := comm.Allreduce([]float64{float64(stats.FloatsSent), float64(stats.FloatsCopied)}, mpi.SumOp)
+	return measuredRedist{
+		seconds:      time.Since(start).Seconds(),
+		floatsSent:   totals[0],
+		floatsCopied: totals[1],
+		steps:        mp.Steps(),
+	}, nil
+}
+
+// redistributeAll is the plan-per-call path used by ranks that have no
+// session cache yet (children joining an expansion).
+func redistributeAll(comm *mpi.Comm, arrays []*Array, from, to grid.Topology) error {
+	_, err := redistributeFused(comm, arrays, from, to, nil)
+	return err
+}
+
+// planFor returns the session's cached fused plan for a grid pair,
+// building and caching it on first use.
+func (s *Session) planFor(from, to grid.Topology) (*redistrib.MultiPlan, error) {
+	key := planKey{from: from, to: to}
+	if mp, ok := s.planCache[key]; ok {
+		return mp, nil
+	}
+	mp, err := newMultiPlan(s.arrays, from, to)
+	if err != nil {
+		return nil, err
+	}
+	if s.planCache == nil {
+		s.planCache = make(map[planKey]*redistrib.MultiPlan)
+	}
+	s.planCache[key] = mp
+	return mp, nil
+}
+
+// redistribute runs the session's cached fused plan for (from, to) over
+// comm and records the measured cost as a RedistObservation on rank 0 —
+// the data that feeds perfmodel calibration.
+func (s *Session) redistribute(comm *mpi.Comm, from, to grid.Topology) error {
+	if len(s.arrays) == 0 {
+		return nil
+	}
+	mp, err := s.planFor(from, to)
+	if err != nil {
+		return err
+	}
+	m, err := redistributeFused(comm, s.arrays, from, to, mp)
+	if err != nil {
+		return err
+	}
+	if comm.Rank() == 0 {
+		minP := from.Count()
+		if to.Count() < minP {
+			minP = to.Count()
+		}
+		s.redistObs = append(s.redistObs, perfmodel.RedistObservation{
+			Bytes:       8 * m.floatsSent,
+			CopiedBytes: 8 * m.floatsCopied,
+			MinProcs:    minP,
+			Steps:       m.steps,
+			Seconds:     m.seconds,
+		})
 	}
 	return nil
+}
+
+// RedistObservations returns the measured redistributions recorded by this
+// rank (rank 0 of the communicator that performed them). They plug directly
+// into perfmodel.Params.CalibrateRedist.
+func (s *Session) RedistObservations() []perfmodel.RedistObservation { return s.redistObs }
+
+// CalibrateRedist refits params' redistribution model from this session's
+// measured redistributions, returning the number of observations used.
+func (s *Session) CalibrateRedist(p *perfmodel.Params) int {
+	return p.CalibrateRedist(s.redistObs)
 }
 
 // RedistributeAll is the advanced-API form of the paper's Redistribute
 // call: it moves the registered arrays between two explicit topologies on
 // the current communicator and records the elapsed redistribution time.
+// Plans are cached per (from, to) pair.
 func (s *Session) RedistributeAll(from, to grid.Topology) error {
 	start := time.Now()
-	if err := redistributeAll(s.comm, s.arrays, from, to); err != nil {
+	if err := s.redistribute(s.comm, from, to); err != nil {
 		return err
 	}
 	s.lastRedist = time.Since(start).Seconds()

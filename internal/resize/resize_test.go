@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/grid"
 	"repro/internal/mpi"
+	"repro/internal/perfmodel"
 	"repro/internal/scheduler"
 )
 
@@ -378,5 +379,164 @@ func TestRepeatedExpansionGrowsChain(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestPlanCacheReusedAcrossOscillation(t *testing.T) {
+	// The paper's shrink/expand cycles oscillate between the same two grids;
+	// the session must build each (from, to) plan once and reuse it.
+	a3 := topo(2, 3)
+	a2 := topo(2, 2)
+	err := mpi.Run(6, func(c *mpi.Comm) error {
+		s, err := NewSession(NullClient{}, 10, c, a3, nil)
+		if err != nil {
+			return err
+		}
+		a := &Array{Name: "A", M: 12, N: 12, MB: 2, NB: 2}
+		b := &Array{Name: "B", M: 8, N: 10, MB: 2, NB: 2}
+		s.RegisterArray(a)
+		s.RegisterArray(b)
+		fillByGlobal(s, a)
+		fillByGlobal(s, b)
+
+		for cycle := 0; cycle < 3; cycle++ {
+			if err := s.RedistributeAll(a3, a2); err != nil {
+				return err
+			}
+			if err := s.RedistributeAll(a2, a3); err != nil {
+				return err
+			}
+		}
+		// Back on the original topology: data must be intact.
+		for _, arr := range []*Array{a, b} {
+			if err := verifyByGlobal(s, arr); err != nil {
+				return err
+			}
+		}
+		if len(s.planCache) != 2 {
+			return fmt.Errorf("plan cache has %d entries after oscillation, want 2", len(s.planCache))
+		}
+		mp1, err := s.planFor(a3, a2)
+		if err != nil {
+			return err
+		}
+		mp2, err := s.planFor(a3, a2)
+		if err != nil {
+			return err
+		}
+		if mp1 != mp2 {
+			return fmt.Errorf("planFor rebuilt a cached plan")
+		}
+		// Registering another array fuses a different set: cache must drop.
+		s.RegisterArray(&Array{Name: "C", M: 4, N: 4, MB: 2, NB: 2})
+		if s.planCache != nil {
+			return fmt.Errorf("plan cache survived RegisterArray")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRedistObservationsRecorded(t *testing.T) {
+	from := topo(2, 3)
+	to := topo(2, 2)
+	obsCh := make(chan []perfmodel.RedistObservation, 1)
+	err := mpi.Run(6, func(c *mpi.Comm) error {
+		s, err := NewSession(NullClient{}, 11, c, from, nil)
+		if err != nil {
+			return err
+		}
+		a := &Array{Name: "A", M: 12, N: 12, MB: 2, NB: 2}
+		s.RegisterArray(a)
+		fillByGlobal(s, a)
+		if err := s.RedistributeAll(from, to); err != nil {
+			return err
+		}
+		if err := s.RedistributeAll(to, from); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			obsCh <- s.RedistObservations()
+		} else if len(s.RedistObservations()) != 0 {
+			return fmt.Errorf("rank %d recorded observations", c.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := <-obsCh
+	if len(obs) != 2 {
+		t.Fatalf("%d observations, want 2", len(obs))
+	}
+	// 2x3 -> 2x2: rows 2->2 is 1 step, cols 3->2 is 3 steps.
+	for i, o := range obs {
+		if o.Bytes <= 0 {
+			t.Errorf("observation %d moved no network bytes: %+v", i, o)
+		}
+		if o.Steps != 3 {
+			t.Errorf("observation %d has %d steps, want 3", i, o.Steps)
+		}
+		if o.MinProcs != 4 {
+			t.Errorf("observation %d MinProcs = %d, want 4", i, o.MinProcs)
+		}
+		if o.Seconds < 0 {
+			t.Errorf("observation %d negative duration", i)
+		}
+	}
+	// The calibration hook must accept the measured log (real goroutine runs
+	// are fast, so some observations may fall under the latency floor and be
+	// skipped — it just must not use more than it was given).
+	p := perfmodel.SystemX()
+	s := &Session{redistObs: obs}
+	if used := s.CalibrateRedist(p); used < 0 || used > len(obs) {
+		t.Errorf("calibration used %d of %d observations", used, len(obs))
+	}
+}
+
+func TestExpandRecordsObservation(t *testing.T) {
+	client := &mutexClient{c: ScriptedClient{Script: []scheduler.Decision{
+		{Action: scheduler.ActionExpand, Target: topo(2, 2)},
+	}}}
+	obsCh := make(chan int, 4)
+	worker := func(s *Session) error {
+		for s.Iter() < 2 {
+			st, err := s.Resize(0.01)
+			if err != nil {
+				return err
+			}
+			if st == Retired {
+				return nil
+			}
+		}
+		if s.Comm().Rank() == 0 {
+			obsCh <- len(s.RedistObservations())
+		}
+		return s.Done()
+	}
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		s, err := NewSession(client, 12, c, topo(1, 2), worker)
+		if err != nil {
+			return err
+		}
+		a := &Array{Name: "A", M: 8, N: 8, MB: 2, NB: 2}
+		s.RegisterArray(a)
+		fillByGlobal(s, a)
+		return worker(s)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(obsCh)
+	got := 0
+	for n := range obsCh {
+		if n > got {
+			got = n
+		}
+	}
+	if got != 1 {
+		t.Errorf("rank 0 recorded %d observations after one expansion, want 1", got)
 	}
 }

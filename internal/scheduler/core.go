@@ -272,8 +272,10 @@ func (c *Core) start(j *Job, now float64) bool {
 	if !ok {
 		return false
 	}
-	c.queue.take(j)
+	// State leaves Queued before the queue drops the job so take's lazy
+	// bucket sweep already sees this entry as dead.
 	j.State = Running
+	c.queue.take(j)
 	j.StartTime = now
 	j.Topo = j.Spec.InitialTopo
 	j.grant = g

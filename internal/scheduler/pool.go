@@ -29,9 +29,13 @@ type Pool struct {
 }
 
 // Grant records the processors a job holds on each shard. The zero value
-// holds nothing.
+// holds nothing. A grant is bound to the pool its holdings came from: an
+// emptied grant may be reused against any pool (its per-shard vector is
+// resized to the new pool), but mixing live holdings across pools is
+// refused loudly rather than corrupting either pool's accounting.
 type Grant struct {
 	parts []int // procs held per shard index
+	pool  *Pool // pool the holdings were taken from (nil until first use)
 }
 
 // Count returns the number of processors the grant holds.
@@ -130,7 +134,15 @@ func (p *Pool) AllocInto(g *Grant, n int) bool {
 	if int(p.free.Load()) < n {
 		return false
 	}
-	if g.parts == nil {
+	// A zero-value grant, or one emptied against another pool, rebinds to
+	// this pool with a freshly sized per-shard vector. Live holdings from a
+	// different pool cannot be mixed in: releasing them here would credit
+	// the other pool's processors to this one.
+	if g.pool != p {
+		if g.Count() > 0 {
+			panic(fmt.Sprintf("scheduler: AllocInto: grant holds %d procs from a different pool", g.Count()))
+		}
+		g.pool = p
 		g.parts = make([]int, len(p.shards))
 	}
 	// Rank shards by free capacity (descending, index ascending on ties).
@@ -212,6 +224,15 @@ func (p *Pool) Release(g *Grant, n int) error {
 	if n < 0 || n > g.Count() {
 		return fmt.Errorf("scheduler: release %d from grant of %d", n, g.Count())
 	}
+	if g.pool != nil && g.pool != p && g.Count() > 0 {
+		return fmt.Errorf("scheduler: release into a pool the grant's %d procs were not taken from", g.Count())
+	}
+	for si := len(p.shards); si < len(g.parts); si++ {
+		if g.parts[si] > 0 {
+			return fmt.Errorf("scheduler: grant holds %d procs on shard %d, beyond this pool's %d shards",
+				g.parts[si], si, len(p.shards))
+		}
+	}
 	for n > 0 {
 		// Largest part first (lowest index on ties).
 		best := -1
@@ -231,10 +252,20 @@ func (p *Pool) Release(g *Grant, n int) error {
 	return nil
 }
 
-// ReleaseAll returns every processor the grant holds.
+// ReleaseAll returns every processor the grant holds. The grant must have
+// been filled from this pool: holdings taken from a different pool (or on
+// shards this pool does not have) cannot be returned here and panic rather
+// than corrupt both pools' accounting silently.
 func (p *Pool) ReleaseAll(g *Grant) {
+	if g.pool != nil && g.pool != p && g.Count() > 0 {
+		panic(fmt.Sprintf("scheduler: ReleaseAll into a pool the grant's %d procs were not taken from", g.Count()))
+	}
 	for si, k := range g.parts {
 		if k > 0 {
+			if si >= len(p.shards) {
+				panic(fmt.Sprintf("scheduler: grant holds %d procs on shard %d, beyond this pool's %d shards",
+					k, si, len(p.shards)))
+			}
 			g.parts[si] = 0
 			p.put(si, k)
 		}

@@ -149,3 +149,112 @@ func TestDefaultShards(t *testing.T) {
 		}
 	}
 }
+
+// TestGrantReuseAcrossPools is the regression test for the AllocInto index
+// panic: a zero-value grant, or one that last lived against a pool with
+// fewer shards, must be usable against any pool.
+func TestGrantReuseAcrossPools(t *testing.T) {
+	small := NewPool(8, 2)
+	big := NewPool(64, 8)
+
+	// Grant shaped by the 2-shard pool, reused against the 8-shard pool.
+	g, ok := small.Alloc(4)
+	if !ok {
+		t.Fatal("small alloc failed")
+	}
+	small.ReleaseAll(&g)
+	if !big.AllocInto(&g, 10) {
+		t.Fatal("AllocInto with a short parts slice failed")
+	}
+	if g.Count() != 10 {
+		t.Fatalf("grant holds %d, want 10", g.Count())
+	}
+	big.ReleaseAll(&g)
+	if big.Free() != 64 || small.Free() != 8 {
+		t.Fatalf("pools leaked: big %d small %d", big.Free(), small.Free())
+	}
+
+	// Zero-value grant straight into a sharded pool.
+	var g2 Grant
+	if !big.AllocInto(&g2, 3) {
+		t.Fatal("AllocInto into zero-value grant failed")
+	}
+	big.ReleaseAll(&g2)
+
+	// Live holdings must not hop pools: silently adopting them would credit
+	// one pool's processors to another.
+	g4, ok := small.Alloc(2)
+	if !ok {
+		t.Fatal("small alloc failed")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("AllocInto accepted live holdings from another pool")
+			}
+		}()
+		big.AllocInto(&g4, 1)
+	}()
+	if err := big.Release(&g4, 1); err == nil {
+		t.Error("Release accepted a live grant from another pool")
+	}
+	small.ReleaseAll(&g4)
+	if small.Free() != 8 {
+		t.Fatalf("small pool leaked: free %d of 8", small.Free())
+	}
+
+	// Holdings on shards a pool does not have cannot be returned there.
+	g3 := Grant{parts: []int{0, 0, 0, 3}}
+	if err := small.Release(&g3, 1); err == nil {
+		t.Error("Release accepted a grant with holdings beyond the pool's shards")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("ReleaseAll should panic on holdings beyond the pool's shards")
+			}
+		}()
+		small.ReleaseAll(&g3)
+	}()
+}
+
+// TestPoolConcurrentAllocIntoRelease drives Alloc, AllocInto and Release
+// from many goroutines at once (run under -race in CI), including grants
+// hopping between differently sharded pools mid-flight.
+func TestPoolConcurrentAllocIntoRelease(t *testing.T) {
+	const workers, iters = 12, 1500
+	a := NewPool(192, 6)
+	b := NewPool(96, 2)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			var g Grant
+			for i := 0; i < iters; i++ {
+				p := a
+				if rng.Intn(2) == 0 {
+					p = b
+				}
+				if !p.AllocInto(&g, 1+rng.Intn(8)) {
+					continue
+				}
+				if rng.Intn(2) == 0 {
+					p.AllocInto(&g, 1+rng.Intn(4))
+				}
+				if k := g.Count(); k > 1 && rng.Intn(2) == 0 {
+					if err := p.Release(&g, 1+rng.Intn(k-1)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				p.ReleaseAll(&g)
+			}
+		}(int64(w + 100))
+	}
+	wg.Wait()
+	if a.Free() != 192 || b.Free() != 96 {
+		t.Fatalf("pools leaked: a %d/192, b %d/96", a.Free(), b.Free())
+	}
+}

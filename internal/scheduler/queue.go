@@ -11,12 +11,17 @@ import "sort"
 //
 // Started jobs are removed lazily: both indexes skip entries whose State
 // has left Queued, so a job started through one index costs nothing to
-// drop from the other.
+// drop from the other. Need buckets whose heaps drain are pruned — eagerly
+// when bestFit surfaces an empty bucket, and by an amortized sweep every
+// ~len(needs) takes — so a long-running daemon churning jobs with many
+// distinct processor needs does not grow the index without bound or make
+// bestFit scan dead buckets forever.
 type jobQueue struct {
 	order jobHeap          // every queued job, head order
 	need  map[int]*jobHeap // processor need -> queued jobs with that need
 	needs []int            // sorted distinct keys of need (may include empty buckets)
 	size  int              // live queued jobs
+	takes int              // takes since the last bucket sweep
 }
 
 // jobLess is the queue's total order: higher priority first, then earlier
@@ -56,23 +61,65 @@ func (q *jobQueue) head() *Job { return q.order.peekLive() }
 
 // take marks the job consumed. Both indexes drop it lazily: the caller
 // transitions the job out of Queued state, and stale entries are discarded
-// when they surface at a heap top.
+// when they surface at a heap top. Every ~len(needs) takes the need index
+// is swept for empty buckets, keeping it proportional to the number of
+// needs actually waiting (amortized O(1) per take).
 func (q *jobQueue) take(j *Job) {
 	q.size--
+	q.takes++
+	if q.takes >= 32 && q.takes >= len(q.needs) {
+		q.sweep()
+	}
+}
+
+// sweep drops every need bucket with no live job left.
+func (q *jobQueue) sweep() {
+	q.takes = 0
+	live := q.needs[:0]
+	for _, n := range q.needs {
+		if q.need[n].peekLive() == nil {
+			delete(q.need, n)
+		} else {
+			live = append(live, n)
+		}
+	}
+	for i := len(live); i < len(q.needs); i++ {
+		q.needs[i] = 0
+	}
+	q.needs = live
+}
+
+// removeNeed drops one bucket from both indexes.
+func (q *jobQueue) removeNeed(n int) {
+	delete(q.need, n)
+	i := sort.SearchInts(q.needs, n)
+	if i < len(q.needs) && q.needs[i] == n {
+		q.needs = append(q.needs[:i], q.needs[i+1:]...)
+	}
 }
 
 // bestFit returns the best-ranked queued job needing at most free
 // processors, or nil. Backfill order matches the linear scan: among all
-// fitting jobs, the one earliest in head order starts first.
+// fitting jobs, the one earliest in head order starts first. Buckets found
+// empty are pruned on the way.
 func (q *jobQueue) bestFit(free int) *Job {
 	var best *Job
+	var dead []int
 	for _, n := range q.needs {
 		if n > free {
 			break
 		}
-		if top := q.need[n].peekLive(); top != nil && (best == nil || jobLess(top, best)) {
+		top := q.need[n].peekLive()
+		if top == nil {
+			dead = append(dead, n)
+			continue
+		}
+		if best == nil || jobLess(top, best) {
 			best = top
 		}
+	}
+	for _, n := range dead {
+		q.removeNeed(n)
 	}
 	return best
 }

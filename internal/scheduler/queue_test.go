@@ -1,0 +1,114 @@
+package scheduler
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func queuedJob(id, need int) *Job {
+	return &Job{
+		ID:    id,
+		State: Queued,
+		Spec:  JobSpec{InitialTopo: grid.Topology{Rows: 1, Cols: need}},
+	}
+}
+
+// TestQueuePrunesDrainedNeedBuckets is the regression test for the
+// unbounded-index bug: a long-running daemon draining jobs with many
+// distinct processor needs must not keep a dead bucket (and a needs-slice
+// entry bestFit rescans) per need forever.
+func TestQueuePrunesDrainedNeedBuckets(t *testing.T) {
+	var q jobQueue
+	const n = 500
+	jobs := make([]*Job, n)
+	for i := range jobs {
+		jobs[i] = queuedJob(i, i+1)
+		q.push(jobs[i])
+	}
+	if len(q.need) != n || len(q.needs) != n {
+		t.Fatalf("index has %d/%d buckets after %d distinct pushes", len(q.need), len(q.needs), n)
+	}
+	for _, j := range jobs {
+		j.State = Running
+		q.take(j)
+	}
+	if q.len() != 0 {
+		t.Fatalf("queue reports %d live jobs after drain", q.len())
+	}
+	if len(q.need) != 0 || len(q.needs) != 0 {
+		t.Errorf("need index retains %d map / %d slice buckets after full drain", len(q.need), len(q.needs))
+	}
+}
+
+// TestQueueIndexBoundedUnderChurn models the daemon workload: every round
+// submits jobs with fresh, never-repeated needs and drains them. The index
+// must stay proportional to the in-flight needs, not to history.
+func TestQueueIndexBoundedUnderChurn(t *testing.T) {
+	var q jobQueue
+	id := 0
+	for round := 0; round < 50; round++ {
+		batch := make([]*Job, 100)
+		for i := range batch {
+			id++
+			batch[i] = queuedJob(id, round*1000+i+1)
+			q.push(batch[i])
+		}
+		for _, j := range batch {
+			j.State = Running
+			q.take(j)
+		}
+		if len(q.needs) > 150 {
+			t.Fatalf("round %d: index grew to %d buckets", round, len(q.needs))
+		}
+	}
+	if len(q.needs) > 150 || len(q.need) > 150 {
+		t.Errorf("index retains %d slice / %d map buckets after churn", len(q.needs), len(q.need))
+	}
+}
+
+// TestBestFitPrunesDeadBuckets checks the eager path: backfill scans must
+// drop buckets they find empty instead of rescanning them on every pass.
+func TestBestFitPrunesDeadBuckets(t *testing.T) {
+	var q jobQueue
+	jobs := make([]*Job, 10)
+	for i := range jobs {
+		jobs[i] = queuedJob(i, i+1)
+		q.push(jobs[i])
+	}
+	// All but the need-10 job start through the head index (lazy removal:
+	// their bucket entries go stale without take's sweep noticing yet).
+	for _, j := range jobs[:9] {
+		j.State = Running
+	}
+	best := q.bestFit(20)
+	if best != jobs[9] {
+		t.Fatalf("bestFit returned %v, want the need-10 job", best)
+	}
+	if len(q.need) != 1 || len(q.needs) != 1 {
+		t.Errorf("bestFit left %d map / %d slice buckets, want 1", len(q.need), len(q.needs))
+	}
+	// A pruned need must be usable again.
+	j := queuedJob(100, 3)
+	q.push(j)
+	if got := q.bestFit(5); got != j {
+		t.Errorf("re-pushed need not found: got %v", got)
+	}
+}
+
+// TestBestFitStillMatchesLinearOrder guards the pruning change: among
+// fitting jobs the earliest in head order must still win.
+func TestBestFitStillMatchesLinearOrder(t *testing.T) {
+	var q jobQueue
+	lowPrio := queuedJob(1, 2)
+	highPrio := queuedJob(2, 4)
+	highPrio.Spec.Priority = 5
+	q.push(lowPrio)
+	q.push(highPrio)
+	if got := q.bestFit(4); got != highPrio {
+		t.Errorf("bestFit = job %d, want the high-priority job", got.ID)
+	}
+	if got := q.bestFit(3); got != lowPrio {
+		t.Errorf("bestFit under tight fit = job %d, want the small job", got.ID)
+	}
+}
