@@ -1,26 +1,33 @@
 // Command reshape-submit submits a job to a reshaped daemon (the paper's
-// command-line submission process) or queries scheduler status.
+// command-line submission process), queries scheduler status, or streams
+// the cluster's job events. It speaks rpc/v2 (one multiplexed connection,
+// server-push watches) via the reshape client.
 //
 // Usage:
 //
 //	reshape-submit -addr 127.0.0.1:7077 -name mylu -app lu -n 64 -nb 4 \
 //	    -iters 10 -rows 1 -cols 2 -max 16 -wait
 //	reshape-submit -addr 127.0.0.1:7077 -status
+//	reshape-submit -addr 127.0.0.1:7077 -watch
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/grid"
-	"repro/internal/rpc"
+	"repro/internal/reshape"
 	"repro/internal/scheduler"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7077", "daemon address")
 	status := flag.Bool("status", false, "print scheduler status and exit")
+	watch := flag.Bool("watch", false, "stream job events until interrupted")
+	timeout := flag.Duration("timeout", 0, "overall deadline for the command (0 = none)")
 	name := flag.String("name", "job", "job name")
 	app := flag.String("app", "lu", "application: lu, mm, jacobi, fft, mw")
 	n := flag.Int("n", 64, "problem size")
@@ -32,18 +39,25 @@ func main() {
 	wait := flag.Bool("wait", false, "block until the job completes")
 	flag.Parse()
 
-	cl := &rpc.Client{Addr: *addr}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	cl, err := reshape.Dial(*addr, reshape.WithDialTimeout(5*time.Second))
+	if err != nil {
+		fail(err)
+	}
+	defer cl.Close()
 
 	if *status {
-		st, err := cl.Status()
-		if err != nil {
-			fail(err)
-		}
-		fmt.Printf("processors: %d total, %d free\n", st.Total, st.Free)
-		for _, j := range st.Jobs {
-			fmt.Printf("job %d %-12s %-8s topo=%v submit=%.1f start=%.1f end=%.1f\n",
-				j.ID, j.Name, j.State, j.Topo, j.Submit, j.Start, j.End)
-		}
+		printStatus(ctx, cl)
+		return
+	}
+	if *watch {
+		streamEvents(ctx, cl)
 		return
 	}
 
@@ -64,7 +78,7 @@ func main() {
 		initial = chain[0]
 	}
 
-	id, err := cl.Submit(scheduler.JobSpec{
+	id, err := cl.Submit(ctx, scheduler.JobSpec{
 		Name:        *name,
 		App:         *app,
 		ProblemSize: *n,
@@ -78,11 +92,62 @@ func main() {
 	}
 	fmt.Printf("submitted job %d (%s, %s, n=%d) starting on %v\n", id, *name, *app, *n, initial)
 	if *wait {
-		if err := cl.Wait(id); err != nil {
+		// Follow the job's own event stream while waiting — the v2 watch
+		// replaces v1's connection-pinning blocking wait.
+		sub, err := cl.Watch(ctx, id)
+		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("job %d finished\n", id)
+		done := make(chan error, 1)
+		go func() { done <- cl.Wait(ctx, id) }()
+		for {
+			select {
+			case ev, ok := <-sub.C:
+				if ok {
+					printEvent(ev)
+				}
+			case err := <-done:
+				sub.Cancel()
+				if err != nil {
+					fail(err)
+				}
+				fmt.Printf("job %d finished\n", id)
+				return
+			}
+		}
 	}
+}
+
+func printStatus(ctx context.Context, cl *reshape.Client) {
+	st, err := cl.Status(ctx)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("processors: %d total, %d busy, %d free; %d job(s) queued\n",
+		st.Total, st.Busy, st.Free, st.QueueLen)
+	for _, j := range st.Jobs {
+		fmt.Printf("job %d %-12s %-8s %-8s topo=%-7v procs=%-3d submit=%.1f start=%.1f end=%.1f\n",
+			j.ID, j.Name, j.App, j.State, j.Topo, j.Procs, j.Submit, j.Start, j.End)
+	}
+}
+
+func streamEvents(ctx context.Context, cl *reshape.Client) {
+	sub, err := cl.Watch(ctx, scheduler.AllJobs)
+	if err != nil {
+		fail(err)
+	}
+	defer sub.Cancel()
+	for ev := range sub.C {
+		printEvent(ev)
+	}
+	if err := ctx.Err(); err != nil && err != context.Canceled {
+		fail(err)
+	}
+}
+
+func printEvent(ev scheduler.JobEvent) {
+	fmt.Printf("t=%8.3fs  %-7s job %d %-12s topo=%-7v busy=%d free=%d\n",
+		ev.Time, ev.Kind, ev.JobID, ev.Job, ev.Topo, ev.Busy, ev.Free)
 }
 
 func fail(err error) {

@@ -3,6 +3,10 @@
 // applications on its own message-passing runtime, and dynamically resizes
 // them according to the Remap Scheduler policy.
 //
+// The daemon speaks both wire protocols on one port: the one-shot v1
+// protocol and the multiplexed rpc/v2 protocol with streaming job watches
+// (see internal/rpc), negotiated per connection from its first byte.
+//
 // Usage:
 //
 //	reshaped -addr 127.0.0.1:7077 -procs 16 -backfill
@@ -12,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -48,23 +53,25 @@ func main() {
 		log.Printf("starting job %d (%s) on %v", j.ID, j.Spec.Name, j.Topo)
 		if err := apps.Launch(srv, j.ID, j.Topo, cfg); err != nil {
 			log.Printf("job %d failed: %v", j.ID, err)
-			_ = srv.JobEnd(j.ID)
+			_ = srv.JobError(context.Background(), j.ID)
 			return
 		}
 		log.Printf("job %d (%s) finished", j.ID, j.Spec.Name)
 	})
 
-	rpcSrv, err := rpc.Serve(*addr, srv)
+	rpcSrv, err := rpc.Serve(*addr, srv, rpc.WithLogf(log.Printf))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	log.Printf("reshaped: %d processors in %d pool shard(s), listening on %s",
+	log.Printf("reshaped: %d processors in %d pool shard(s), listening on %s (rpc v1+v2)",
 		*procs, core.Pool().NumShards(), rpcSrv.Addr())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
-	log.Println("reshaped: shutting down")
+	st := rpcSrv.Stats()
+	log.Printf("reshaped: shutting down (%d v1 conns, %d v2 conns, %d requests, %d watches, %d malformed)",
+		st.V1Conns, st.V2Conns, st.Requests, st.Watches, st.Malformed)
 	_ = rpcSrv.Close()
 }

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -111,8 +112,9 @@ func main() {
 		}
 	})
 
+	ctx := context.Background()
 	start := grid.Topology{Rows: 1, Cols: 2}
-	job, err := srv.Submit(scheduler.JobSpec{
+	jobID, err := srv.Submit(ctx, scheduler.JobSpec{
 		Name: "power-iteration", App: "custom", ProblemSize: n, Iterations: iterations,
 		InitialTopo: start,
 		Chain:       grid.GrowthChain(start, n, procs),
@@ -122,7 +124,9 @@ func main() {
 	}
 	fmt.Printf("power iteration on a %dx%d matrix, starting on %v of %d processors:\n",
 		n, n, start, procs)
-	srv.Wait(job.ID)
+	if err := srv.Wait(ctx, jobID); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("done; every topology change redistributed A and re-replicated x.")
 }
 

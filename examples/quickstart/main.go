@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,8 +29,9 @@ func main() {
 
 	// Submit a 32x32 LU job starting on 1x2 processors; its configuration
 	// chain allows growth up to the full pool.
+	ctx := context.Background()
 	start := grid.Topology{Rows: 1, Cols: 2}
-	job, err := srv.Submit(scheduler.JobSpec{
+	jobID, err := srv.Submit(ctx, scheduler.JobSpec{
 		Name:        "quickstart-lu",
 		App:         "lu",
 		ProblemSize: 32,
@@ -41,14 +43,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv.Wait(job.ID)
+	if err := srv.Wait(ctx, jobID); err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println("allocation history:")
 	for _, e := range srv.Core().Events {
 		fmt.Printf("  t=%7.3fs %-7s %-14s topo=%-5v busy=%d/%d\n",
 			e.Time, e.Kind, e.Job, e.Topo, e.Busy, procs)
 	}
-	j, _ := srv.Core().Job(job.ID)
+	j, _ := srv.Core().Job(jobID)
 	fmt.Println("\nconfigurations visited (the Performance Profiler's record):")
 	for _, v := range j.Profile.Visits {
 		fmt.Printf("  %-5v %2d iterations, last iteration %.4fs\n",

@@ -1,6 +1,7 @@
 package apps
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -16,20 +17,20 @@ type lockedScript struct {
 	c  resize.ScriptedClient
 }
 
-func (m *lockedScript) Contact(jobID int, t grid.Topology, iterTime, redistTime float64) (scheduler.Decision, error) {
+func (m *lockedScript) Contact(ctx context.Context, jobID int, t grid.Topology, iterTime, redistTime float64) (scheduler.Decision, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.c.Contact(jobID, t, iterTime, redistTime)
+	return m.c.Contact(ctx, jobID, t, iterTime, redistTime)
 }
-func (m *lockedScript) ResizeComplete(jobID int, redistTime float64) error {
+func (m *lockedScript) ResizeComplete(ctx context.Context, jobID int, redistTime float64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.c.ResizeComplete(jobID, redistTime)
+	return m.c.ResizeComplete(ctx, jobID, redistTime)
 }
-func (m *lockedScript) JobEnd(jobID int) error {
+func (m *lockedScript) JobEnd(ctx context.Context, jobID int) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.c.JobEnd(jobID)
+	return m.c.JobEnd(ctx, jobID)
 }
 
 // runAppThroughResizes executes a full app Runner starting on `start`,

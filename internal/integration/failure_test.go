@@ -1,6 +1,7 @@
 package integration
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -48,19 +49,19 @@ func TestJobErrorRecoversProcessorsAndStartsQueue(t *testing.T) {
 				t.Error("crasher should have failed")
 			}
 			// The per-node application monitor reports the failure.
-			if err := srv.JobError(j.ID); err != nil {
+			if err := srv.JobError(context.Background(), j.ID); err != nil {
 				t.Errorf("job error: %v", err)
 			}
 		case "queued":
 			cfg := apps.Config{App: "fft", N: 8, NB: 2, Iterations: 2}
 			if err := apps.Launch(srv, j.ID, j.Topo, cfg); err != nil {
 				t.Errorf("queued job: %v", err)
-				_ = srv.JobError(j.ID)
+				_ = srv.JobError(context.Background(), j.ID)
 			}
 		}
 	})
 
-	crasher, err := srv.Submit(scheduler.JobSpec{
+	crasher, err := srv.Submit(context.Background(), scheduler.JobSpec{
 		Name: "crasher", App: "custom", Iterations: 10,
 		InitialTopo: grid.Topology{Rows: 2, Cols: 2},
 		Chain:       []grid.Topology{{Rows: 2, Cols: 2}},
@@ -68,7 +69,7 @@ func TestJobErrorRecoversProcessorsAndStartsQueue(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	queued, err := srv.Submit(scheduler.JobSpec{
+	queued, err := srv.Submit(context.Background(), scheduler.JobSpec{
 		Name: "queued", App: "fft", ProblemSize: 8, Iterations: 2,
 		InitialTopo: grid.Row1D(2),
 		Chain:       []grid.Topology{grid.Row1D(2)},
@@ -77,23 +78,20 @@ func TestJobErrorRecoversProcessorsAndStartsQueue(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	done := make(chan struct{})
-	go func() {
-		srv.Wait(crasher.ID)
-		srv.Wait(queued.ID)
-		close(done)
-	}()
-	select {
-	case <-done:
-	case <-time.After(30 * time.Second):
-		t.Fatal("jobs did not finish after failure injection")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Wait(ctx, crasher); err != nil {
+		t.Fatalf("jobs did not finish after failure injection: %v", err)
+	}
+	if err := srv.Wait(ctx, queued); err != nil {
+		t.Fatalf("jobs did not finish after failure injection: %v", err)
 	}
 
-	cj, _ := srv.Core().Job(crasher.ID)
+	cj, _ := srv.Core().Job(crasher)
 	if cj.State != scheduler.Done {
 		t.Errorf("crasher state %v", cj.State)
 	}
-	qj, _ := srv.Core().Job(queued.ID)
+	qj, _ := srv.Core().Job(queued)
 	if qj.State != scheduler.Done {
 		t.Errorf("queued job state %v", qj.State)
 	}
@@ -117,7 +115,7 @@ func TestCGAppUnderRealScheduler(t *testing.T) {
 		"cg": {App: "cg", N: 12, NB: 2, Iterations: 5, Sweeps: 3},
 	}
 	srv, errs := startServer(t, 6, cfgs)
-	job, err := srv.Submit(scheduler.JobSpec{
+	job, err := srv.Submit(context.Background(), scheduler.JobSpec{
 		Name: "cg", App: "cg", ProblemSize: 12, Iterations: 5,
 		InitialTopo: grid.Topology{Rows: 1, Cols: 2},
 		Chain:       grid.GrowthChain(grid.Topology{Rows: 1, Cols: 2}, 12, 6),
@@ -125,9 +123,9 @@ func TestCGAppUnderRealScheduler(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	waitAll(t, srv, []*scheduler.Job{job})
+	waitAll(t, srv, []int{job})
 	checkErrs(t, errs)
-	j, _ := srv.Core().Job(job.ID)
+	j, _ := srv.Core().Job(job)
 	if j.State != scheduler.Done {
 		t.Fatalf("state %v", j.State)
 	}

@@ -5,6 +5,7 @@
 package integration
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -32,25 +33,20 @@ func startServer(t *testing.T, total int, cfgs map[string]apps.Config) (*schedul
 		if err := apps.Launch(srv, j.ID, j.Topo, cfg); err != nil {
 			errs.Store(j.Spec.Name, err)
 			// Make sure the scheduler does not wait forever on a crashed job.
-			_ = srv.JobEnd(j.ID)
+			_ = srv.JobEnd(context.Background(), j.ID)
 		}
 	})
 	return srv, &errs
 }
 
-func waitAll(t *testing.T, srv *scheduler.Server, jobs []*scheduler.Job) {
+func waitAll(t *testing.T, srv *scheduler.Server, jobs []int) {
 	t.Helper()
-	done := make(chan struct{})
-	go func() {
-		for _, j := range jobs {
-			srv.Wait(j.ID)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for _, id := range jobs {
+		if err := srv.Wait(ctx, id); err != nil {
+			t.Fatalf("jobs did not complete in time: %v", err)
 		}
-		close(done)
-	}()
-	select {
-	case <-done:
-	case <-time.After(60 * time.Second):
-		t.Fatal("jobs did not complete in time")
 	}
 }
 
@@ -68,7 +64,7 @@ func TestSoloLUJobExpandsOnIdleCluster(t *testing.T) {
 		"lu": {App: "lu", N: n, NB: 2, Iterations: 6},
 	}
 	srv, errs := startServer(t, 6, cfgs)
-	job, err := srv.Submit(scheduler.JobSpec{
+	job, err := srv.Submit(context.Background(), scheduler.JobSpec{
 		Name: "lu", App: "lu", ProblemSize: n, Iterations: 6,
 		InitialTopo: topo(1, 2),
 		Chain:       grid.GrowthChain(topo(1, 2), n, 6),
@@ -76,14 +72,14 @@ func TestSoloLUJobExpandsOnIdleCluster(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	waitAll(t, srv, []*scheduler.Job{job})
+	waitAll(t, srv, []int{job})
 	checkErrs(t, errs)
 
 	core := srv.Core()
 	if core.Free() != 6 {
 		t.Errorf("free = %d after completion", core.Free())
 	}
-	j, _ := core.Job(job.ID)
+	j, _ := core.Job(job)
 	if j.State != scheduler.Done {
 		t.Errorf("job state %v", j.State)
 	}
@@ -109,7 +105,7 @@ func TestTwoJobsShareClusterWithShrink(t *testing.T) {
 		"second": {App: "fft", N: 8, NB: 2, Iterations: 3},
 	}
 	srv, errs := startServer(t, 6, cfgs)
-	first, err := srv.Submit(scheduler.JobSpec{
+	first, err := srv.Submit(context.Background(), scheduler.JobSpec{
 		Name: "first", App: "jacobi", ProblemSize: 12, Iterations: 8,
 		InitialTopo: grid.Row1D(2),
 		Chain:       []grid.Topology{grid.Row1D(2), grid.Row1D(4), grid.Row1D(6)},
@@ -119,7 +115,7 @@ func TestTwoJobsShareClusterWithShrink(t *testing.T) {
 	}
 	// Give the first job a head start so it can expand.
 	time.Sleep(50 * time.Millisecond)
-	second, err := srv.Submit(scheduler.JobSpec{
+	second, err := srv.Submit(context.Background(), scheduler.JobSpec{
 		Name: "second", App: "fft", ProblemSize: 8, Iterations: 3,
 		InitialTopo: grid.Row1D(2),
 		Chain:       []grid.Topology{grid.Row1D(2), grid.Row1D(4)},
@@ -127,7 +123,7 @@ func TestTwoJobsShareClusterWithShrink(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	waitAll(t, srv, []*scheduler.Job{first, second})
+	waitAll(t, srv, []int{first, second})
 	checkErrs(t, errs)
 	if srv.Core().Free() != 6 {
 		t.Errorf("free = %d after completion", srv.Core().Free())
@@ -149,9 +145,9 @@ func TestFiveAppWorkloadMiniature(t *testing.T) {
 		"FFT":    {App: "fft", N: 8, NB: 2, Iterations: 3},
 	}
 	srv, errs := startServer(t, 10, cfgs)
-	var jobs []*scheduler.Job
+	var jobs []int
 	submit := func(name, app string, n int, initial grid.Topology, chain []grid.Topology) {
-		j, err := srv.Submit(scheduler.JobSpec{
+		j, err := srv.Submit(context.Background(), scheduler.JobSpec{
 			Name: name, App: app, ProblemSize: n, Iterations: 3,
 			InitialTopo: initial, Chain: chain,
 		})
@@ -178,7 +174,7 @@ func TestQueuedJobEventuallyRuns(t *testing.T) {
 		"queued": {App: "fft", N: 8, NB: 2, Iterations: 2},
 	}
 	srv, errs := startServer(t, 4, cfgs)
-	big, err := srv.Submit(scheduler.JobSpec{
+	big, err := srv.Submit(context.Background(), scheduler.JobSpec{
 		Name: "big", App: "lu", ProblemSize: 8, Iterations: 4,
 		InitialTopo: topo(2, 2),
 		Chain:       []grid.Topology{topo(2, 2)},
@@ -186,7 +182,7 @@ func TestQueuedJobEventuallyRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	queued, err := srv.Submit(scheduler.JobSpec{
+	queued, err := srv.Submit(context.Background(), scheduler.JobSpec{
 		Name: "queued", App: "fft", ProblemSize: 8, Iterations: 2,
 		InitialTopo: grid.Row1D(2),
 		Chain:       []grid.Topology{grid.Row1D(2)},
@@ -194,12 +190,12 @@ func TestQueuedJobEventuallyRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	j, _ := srv.Core().Job(queued.ID)
+	j, _ := srv.Core().Job(queued)
 	_ = j
-	waitAll(t, srv, []*scheduler.Job{big, queued})
+	waitAll(t, srv, []int{big, queued})
 	checkErrs(t, errs)
-	qj, _ := srv.Core().Job(queued.ID)
-	bj, _ := srv.Core().Job(big.ID)
+	qj, _ := srv.Core().Job(queued)
+	bj, _ := srv.Core().Job(big)
 	if qj.StartTime < bj.SubmitTime {
 		t.Error("queued job started before big job submitted")
 	}

@@ -1,6 +1,8 @@
 package resize
 
 import (
+	"context"
+
 	"repro/internal/grid"
 	"repro/internal/scheduler"
 )
@@ -11,15 +13,17 @@ import (
 type NullClient struct{}
 
 // Contact always answers "no change".
-func (NullClient) Contact(jobID int, topo grid.Topology, iterTime, redistTime float64) (scheduler.Decision, error) {
+func (NullClient) Contact(ctx context.Context, jobID int, topo grid.Topology, iterTime, redistTime float64) (scheduler.Decision, error) {
 	return scheduler.Decision{Action: scheduler.ActionNone, Reason: "null client"}, nil
 }
 
 // ResizeComplete is a no-op.
-func (NullClient) ResizeComplete(jobID int, redistTime float64) error { return nil }
+func (NullClient) ResizeComplete(ctx context.Context, jobID int, redistTime float64) error {
+	return nil
+}
 
 // JobEnd is a no-op.
-func (NullClient) JobEnd(jobID int) error { return nil }
+func (NullClient) JobEnd(ctx context.Context, jobID int) error { return nil }
 
 // ScriptedClient replays a fixed sequence of decisions, one per contact, for
 // deterministic resize tests. After the script is exhausted it answers "no
@@ -32,7 +36,7 @@ type ScriptedClient struct {
 }
 
 // Contact pops the next scripted decision.
-func (c *ScriptedClient) Contact(jobID int, topo grid.Topology, iterTime, redistTime float64) (scheduler.Decision, error) {
+func (c *ScriptedClient) Contact(ctx context.Context, jobID int, topo grid.Topology, iterTime, redistTime float64) (scheduler.Decision, error) {
 	i := c.Contacts
 	c.Contacts++
 	if i < len(c.Script) {
@@ -42,13 +46,13 @@ func (c *ScriptedClient) Contact(jobID int, topo grid.Topology, iterTime, redist
 }
 
 // ResizeComplete records the reported cost.
-func (c *ScriptedClient) ResizeComplete(jobID int, redistTime float64) error {
+func (c *ScriptedClient) ResizeComplete(ctx context.Context, jobID int, redistTime float64) error {
 	c.Completed = append(c.Completed, redistTime)
 	return nil
 }
 
 // JobEnd records completion.
-func (c *ScriptedClient) JobEnd(jobID int) error {
+func (c *ScriptedClient) JobEnd(ctx context.Context, jobID int) error {
 	c.Ended = true
 	return nil
 }

@@ -30,6 +30,7 @@
 package resize
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -43,20 +44,48 @@ import (
 )
 
 // Client is the scheduler interface the resizing library talks to. The
-// in-process scheduler.Server implements it directly; cmd/reshaped wraps it
-// over TCP. Contact calls from concurrently resizing jobs are safe because
-// the Server serializes them onto the scheduler core (see DESIGN.md, Remap
+// in-process scheduler.Server implements it directly; the reshape package
+// (rpc/v2) and the v1 rpc.Client implement it over TCP. Every call takes a
+// context so remote transports can honour deadlines and cancellation.
+// Contact calls from concurrently resizing jobs are safe because the
+// Server serializes them onto the scheduler core (see DESIGN.md, Remap
 // Scheduler); an expansion grant either succeeds atomically or comes back
 // as "no change".
 type Client interface {
 	// Contact reports an iteration from a resize point and returns the
 	// remap decision (the paper's contact_scheduler).
-	Contact(jobID int, topo grid.Topology, iterTime, redistTime float64) (scheduler.Decision, error)
+	Contact(ctx context.Context, jobID int, topo grid.Topology, iterTime, redistTime float64) (scheduler.Decision, error)
 	// ResizeComplete confirms a finished resize and reports its cost.
-	ResizeComplete(jobID int, redistTime float64) error
+	ResizeComplete(ctx context.Context, jobID int, redistTime float64) error
 	// JobEnd signals normal completion (the application monitor's job-end).
-	JobEnd(jobID int) error
+	JobEnd(ctx context.Context, jobID int) error
 }
+
+// Scheduler is the full capability surface of a ReSHAPE scheduler: the
+// resizing-library Client plus submission, completion waits, streaming
+// job-event watches and typed status snapshots. The in-process
+// scheduler.Server, the v1 rpc.Client and the rpc/v2 reshape.Client all
+// implement it, so tools and applications are transport-agnostic —
+// including Wait and Watch.
+type Scheduler interface {
+	Client
+	// Submit enqueues a job and returns its id.
+	Submit(ctx context.Context, spec scheduler.JobSpec) (int, error)
+	// JobError reports an application failure (the application monitor's
+	// job-error signal): the job is deleted, its resources recovered, and
+	// the trace records kind "error" instead of "end".
+	JobError(ctx context.Context, jobID int) error
+	// Wait blocks until the job finishes or ctx is done.
+	Wait(ctx context.Context, jobID int) error
+	// Watch streams job-state transitions (scheduler.AllJobs for every
+	// job) until ctx is done or the subscription is cancelled.
+	Watch(ctx context.Context, jobID int) (*scheduler.Subscription, error)
+	// Status returns a typed scheduler snapshot.
+	Status(ctx context.Context) (scheduler.ClusterStatus, error)
+}
+
+// The in-process server satisfies the full capability interface.
+var _ Scheduler = (*scheduler.Server)(nil)
 
 // Array is one global block-cyclic array registered for redistribution.
 // Data holds the calling rank's local piece under the session's current
@@ -98,6 +127,11 @@ type planKey struct {
 
 // Session is a rank's handle on the resizing library.
 type Session struct {
+	// CallTimeout bounds each scheduler call made from this session's
+	// resize points (0 = no deadline). Set it before the worker loop; ranks
+	// spawned by expansion inherit it.
+	CallTimeout time.Duration
+
 	client Client
 	jobID  int
 	worker Worker
@@ -214,11 +248,22 @@ func (s *Session) Log(iterTime float64) float64 {
 // LogRecords returns rank 0's iteration log.
 func (s *Session) LogRecords() []IterationRecord { return s.log }
 
+// callCtx returns the context used for one scheduler call from a resize
+// point, honouring the session's CallTimeout.
+func (s *Session) callCtx() (context.Context, context.CancelFunc) {
+	if s.CallTimeout > 0 {
+		return context.WithTimeout(context.Background(), s.CallTimeout)
+	}
+	return context.Background(), func() {}
+}
+
 // Done signals job completion to the scheduler (rank 0 only; other ranks
 // no-op), mirroring the application monitor's job-end message.
 func (s *Session) Done() error {
 	if s.comm.Rank() == 0 {
-		return s.client.JobEnd(s.jobID)
+		ctx, cancel := s.callCtx()
+		defer cancel()
+		return s.client.JobEnd(ctx, s.jobID)
 	}
 	return nil
 }
@@ -232,7 +277,9 @@ func (s *Session) ContactScheduler(iterTime, redistTime float64) (scheduler.Deci
 	}
 	var w wire
 	if s.comm.Rank() == 0 {
-		d, err := s.client.Contact(s.jobID, s.topo, iterTime, redistTime)
+		ctx, cancel := s.callCtx()
+		defer cancel()
+		d, err := s.client.Contact(ctx, s.jobID, s.topo, iterTime, redistTime)
 		w.d = d
 		if err != nil {
 			w.err = err.Error()
@@ -312,20 +359,21 @@ func (s *Session) ExpandProcessors(target grid.Topology) error {
 			boot.replicated[name] = cp
 		}
 	}
-	client, worker := s.client, s.worker
+	client, worker, callTimeout := s.client, s.worker, s.CallTimeout
 
 	ic := s.comm.Spawn(k, func(childIC *mpi.Intercomm) error {
 		merged := childIC.Merge()
 		// Children receive the bootstrap from rank 0 of the merged comm.
 		b := merged.Bcast(0, childBootstrap{}).(childBootstrap)
 		cs := &Session{
-			client:     client,
-			jobID:      b.jobID,
-			worker:     worker,
-			comm:       merged,
-			topo:       b.newTopo,
-			iter:       b.iter,
-			replicated: make(map[string][]float64, len(b.replicated)),
+			CallTimeout: callTimeout,
+			client:      client,
+			jobID:       b.jobID,
+			worker:      worker,
+			comm:        merged,
+			topo:        b.newTopo,
+			iter:        b.iter,
+			replicated:  make(map[string][]float64, len(b.replicated)),
 		}
 		for name, data := range b.replicated {
 			cp := make([]float64, len(data))
@@ -363,7 +411,9 @@ func (s *Session) ExpandProcessors(target grid.Topology) error {
 	s.topo = target
 	s.lastRedist = time.Since(start).Seconds()
 	if s.comm.Rank() == 0 {
-		if err := s.client.ResizeComplete(s.jobID, s.lastRedist); err != nil {
+		ctx, cancel := s.callCtx()
+		defer cancel()
+		if err := s.client.ResizeComplete(ctx, s.jobID, s.lastRedist); err != nil {
 			return err
 		}
 	}
@@ -401,7 +451,9 @@ func (s *Session) ShrinkProcessors(target grid.Topology) (Status, error) {
 	s.topo = target
 	s.lastRedist = time.Since(start).Seconds()
 	if s.comm.Rank() == 0 {
-		if err := s.client.ResizeComplete(s.jobID, s.lastRedist); err != nil {
+		ctx, cancel := s.callCtx()
+		defer cancel()
+		if err := s.client.ResizeComplete(ctx, s.jobID, s.lastRedist); err != nil {
 			return Continue, err
 		}
 	}

@@ -1,6 +1,7 @@
 package resize
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -56,20 +57,20 @@ type mutexClient struct {
 	c  ScriptedClient
 }
 
-func (m *mutexClient) Contact(jobID int, t grid.Topology, iterTime, redistTime float64) (scheduler.Decision, error) {
+func (m *mutexClient) Contact(ctx context.Context, jobID int, t grid.Topology, iterTime, redistTime float64) (scheduler.Decision, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.c.Contact(jobID, t, iterTime, redistTime)
+	return m.c.Contact(ctx, jobID, t, iterTime, redistTime)
 }
-func (m *mutexClient) ResizeComplete(jobID int, redistTime float64) error {
+func (m *mutexClient) ResizeComplete(ctx context.Context, jobID int, redistTime float64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.c.ResizeComplete(jobID, redistTime)
+	return m.c.ResizeComplete(ctx, jobID, redistTime)
 }
-func (m *mutexClient) JobEnd(jobID int) error {
+func (m *mutexClient) JobEnd(ctx context.Context, jobID int) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.c.JobEnd(jobID)
+	return m.c.JobEnd(ctx, jobID)
 }
 
 func TestSessionExpandSpawnsAndRedistributes(t *testing.T) {

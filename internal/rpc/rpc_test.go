@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 func topo(r, c int) grid.Topology { return grid.Topology{Rows: r, Cols: c} }
 
 func TestRoundTripOverTCP(t *testing.T) {
+	ctx := context.Background()
 	sched := scheduler.NewServer(8, true, nil)
 	srv, err := Serve("127.0.0.1:0", sched)
 	if err != nil {
@@ -20,7 +22,7 @@ func TestRoundTripOverTCP(t *testing.T) {
 	defer srv.Close()
 	cl := &Client{Addr: srv.Addr()}
 
-	id, err := cl.Submit(scheduler.JobSpec{
+	id, err := cl.Submit(ctx, scheduler.JobSpec{
 		Name: "lu", App: "lu", ProblemSize: 12000, Iterations: 10,
 		InitialTopo: topo(1, 2),
 		Chain:       grid.GrowthChain(topo(1, 2), 12000, 8),
@@ -29,18 +31,18 @@ func TestRoundTripOverTCP(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	d, err := cl.Contact(id, topo(1, 2), 129.63, 0)
+	d, err := cl.Contact(ctx, id, topo(1, 2), 129.63, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if d.Action != scheduler.ActionExpand || d.Target != topo(2, 2) {
 		t.Fatalf("decision %+v", d)
 	}
-	if err := cl.ResizeComplete(id, 8.0); err != nil {
+	if err := cl.ResizeComplete(ctx, id, 8.0); err != nil {
 		t.Fatal(err)
 	}
 
-	st, err := cl.Status()
+	st, err := cl.Status(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,19 +53,23 @@ func TestRoundTripOverTCP(t *testing.T) {
 		t.Fatalf("jobs %+v", st.Jobs)
 	}
 
-	if err := cl.JobEnd(id); err != nil {
+	if err := cl.JobEnd(ctx, id); err != nil {
 		t.Fatal(err)
 	}
-	st, err = cl.Status()
+	st, err = cl.Status(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if st.Free != 8 {
 		t.Fatalf("free = %d after end", st.Free)
 	}
+	if s := srv.Stats(); s.V1Conns == 0 || s.Requests == 0 {
+		t.Fatalf("stats not counting v1 traffic: %+v", s)
+	}
 }
 
 func TestServerReportsErrors(t *testing.T) {
+	ctx := context.Background()
 	sched := scheduler.NewServer(4, false, nil)
 	srv, err := Serve("127.0.0.1:0", sched)
 	if err != nil {
@@ -72,22 +78,22 @@ func TestServerReportsErrors(t *testing.T) {
 	defer srv.Close()
 	cl := &Client{Addr: srv.Addr()}
 
-	if _, err := cl.Contact(99, topo(1, 1), 1, 0); err == nil {
+	if _, err := cl.Contact(ctx, 99, topo(1, 1), 1, 0); err == nil {
 		t.Error("contact for unknown job should fail")
 	}
-	if _, err := cl.Submit(scheduler.JobSpec{Name: "big", InitialTopo: topo(4, 4)}); err == nil {
+	if _, err := cl.Submit(ctx, scheduler.JobSpec{Name: "big", InitialTopo: topo(4, 4)}); err == nil {
 		t.Error("oversized job should fail")
 	}
 }
 
 func TestClientDialFailure(t *testing.T) {
-	cl := &Client{Addr: "127.0.0.1:1"} // almost certainly closed
-	if _, err := cl.Status(); err == nil {
+	cl := &Client{Addr: "127.0.0.1:1", DialTimeout: 200 * time.Millisecond}
+	if _, err := cl.Status(context.Background()); err == nil {
 		t.Error("expected dial error")
 	}
 }
 
-func TestWaitBlocksUntilJobEnd(t *testing.T) {
+func TestClientHonoursContextDeadline(t *testing.T) {
 	sched := scheduler.NewServer(4, false, nil)
 	srv, err := Serve("127.0.0.1:0", sched)
 	if err != nil {
@@ -95,7 +101,34 @@ func TestWaitBlocksUntilJobEnd(t *testing.T) {
 	}
 	defer srv.Close()
 	cl := &Client{Addr: srv.Addr()}
-	id, err := cl.Submit(scheduler.JobSpec{
+	id, err := cl.Submit(context.Background(), scheduler.JobSpec{
+		Name: "j", App: "mw", Iterations: 1,
+		InitialTopo: grid.Row1D(2), Chain: []grid.Topology{grid.Row1D(2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if err := cl.Wait(ctx, id); err == nil {
+		t.Fatal("Wait should fail when the deadline expires before JobEnd")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("Wait ignored the deadline (took %v)", elapsed)
+	}
+}
+
+func TestWaitBlocksUntilJobEnd(t *testing.T) {
+	ctx := context.Background()
+	sched := scheduler.NewServer(4, false, nil)
+	srv, err := Serve("127.0.0.1:0", sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl := &Client{Addr: srv.Addr()}
+	id, err := cl.Submit(ctx, scheduler.JobSpec{
 		Name: "j", App: "mw", Iterations: 1,
 		InitialTopo: grid.Row1D(2), Chain: []grid.Topology{grid.Row1D(2)},
 	})
@@ -103,14 +136,14 @@ func TestWaitBlocksUntilJobEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	done := make(chan error, 1)
-	go func() { done <- cl.Wait(id) }()
+	go func() { done <- cl.Wait(ctx, id) }()
 	time.Sleep(20 * time.Millisecond)
 	select {
 	case <-done:
 		t.Fatal("Wait returned before JobEnd")
 	default:
 	}
-	if err := cl.JobEnd(id); err != nil {
+	if err := cl.JobEnd(ctx, id); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -125,6 +158,7 @@ func TestWaitBlocksUntilJobEnd(t *testing.T) {
 
 func TestRemoteSchedulerDrivesRealApp(t *testing.T) {
 	// End-to-end over TCP: a real application resized by a remote daemon.
+	ctx := context.Background()
 	var launched = make(chan int, 4)
 	var sched *scheduler.Server
 	var cl *Client
@@ -133,7 +167,7 @@ func TestRemoteSchedulerDrivesRealApp(t *testing.T) {
 		cfg := apps.Config{App: "lu", N: 8, NB: 2, Iterations: 3}
 		if err := apps.Launch(cl, j.ID, j.Topo, cfg); err != nil {
 			t.Errorf("launch: %v", err)
-			_ = cl.JobEnd(j.ID)
+			_ = cl.JobEnd(ctx, j.ID)
 		}
 	})
 	srv, err := Serve("127.0.0.1:0", sched)
@@ -143,7 +177,7 @@ func TestRemoteSchedulerDrivesRealApp(t *testing.T) {
 	defer srv.Close()
 	cl = &Client{Addr: srv.Addr()}
 
-	id, err := cl.Submit(scheduler.JobSpec{
+	id, err := cl.Submit(ctx, scheduler.JobSpec{
 		Name: "lu", App: "lu", ProblemSize: 8, Iterations: 3,
 		InitialTopo: topo(1, 2),
 		Chain:       grid.GrowthChain(topo(1, 2), 8, 4),
@@ -151,10 +185,10 @@ func TestRemoteSchedulerDrivesRealApp(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.Wait(id); err != nil {
+	if err := cl.Wait(ctx, id); err != nil {
 		t.Fatal(err)
 	}
-	st, err := cl.Status()
+	st, err := cl.Status(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,5 +197,44 @@ func TestRemoteSchedulerDrivesRealApp(t *testing.T) {
 	}
 	if st.Jobs[0].State != "done" {
 		t.Errorf("state %v", st.Jobs[0].State)
+	}
+}
+
+func TestV1WatchSynthesizesEventsFromPolling(t *testing.T) {
+	ctx := context.Background()
+	sched := scheduler.NewServer(8, true, nil)
+	srv, err := Serve("127.0.0.1:0", sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl := &Client{Addr: srv.Addr(), PollInterval: 10 * time.Millisecond}
+
+	sub, err := cl.Watch(ctx, scheduler.AllJobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Cancel()
+
+	id, err := cl.Submit(ctx, scheduler.JobSpec{
+		Name: "j", App: "mw", Iterations: 1,
+		InitialTopo: grid.Row1D(2), Chain: []grid.Topology{grid.Row1D(2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.JobEnd(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+
+	kinds := map[string]bool{}
+	deadline := time.After(5 * time.Second)
+	for !(kinds["submit"] && kinds["start"] && kinds["end"]) {
+		select {
+		case ev := <-sub.C:
+			kinds[ev.Kind] = true
+		case <-deadline:
+			t.Fatalf("missing kinds, saw %v", kinds)
+		}
 	}
 }

@@ -1,0 +1,334 @@
+package rpc
+
+import (
+	"bufio"
+	"context"
+	"encoding/gob"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/scheduler"
+)
+
+// dialV2 opens a raw v2 connection (magic byte already sent) with its
+// frame codecs.
+func dialV2(t *testing.T, addr string) (net.Conn, *FrameWriter, *FrameReader) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte{MagicV2}); err != nil {
+		t.Fatal(err)
+	}
+	return conn, NewFrameWriter(conn), NewFrameReader(bufio.NewReader(conn))
+}
+
+func TestV2PipelinesConcurrentRequestsOnOneConnection(t *testing.T) {
+	sched := scheduler.NewServer(8, true, nil)
+	srv, err := Serve("127.0.0.1:0", sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, fw, fr := dialV2(t, srv.Addr())
+	defer conn.Close()
+
+	// Pipeline a burst of status requests without reading any reply.
+	const n = 32
+	for i := 1; i <= n; i++ {
+		if err := fw.Write(Frame{ID: uint64(i), Op: OpStatus}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := make(map[uint64]bool)
+	for i := 0; i < n; i++ {
+		var r Reply
+		if err := fr.Read(&r); err != nil {
+			t.Fatal(err)
+		}
+		if r.Err != "" {
+			t.Fatalf("reply %d: %s", r.ID, r.Err)
+		}
+		if !r.Final || r.Status == nil || r.Status.Total != 8 {
+			t.Fatalf("bad reply %+v", r)
+		}
+		if seen[r.ID] {
+			t.Fatalf("duplicate reply id %d", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	if st := srv.Stats(); st.V2Conns != 1 || st.Requests != n {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestV2WaitDoesNotPinConnection(t *testing.T) {
+	// A pending Wait and a burst of other ops share one connection: the
+	// defining difference from v1, where Wait parks the whole socket.
+	sched := scheduler.NewServer(4, false, nil)
+	srv, err := Serve("127.0.0.1:0", sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	id, err := sched.Submit(context.Background(), scheduler.JobSpec{
+		Name: "j", App: "mw", Iterations: 1,
+		InitialTopo: grid.Row1D(2), Chain: []grid.Topology{grid.Row1D(2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	conn, fw, fr := dialV2(t, srv.Addr())
+	defer conn.Close()
+
+	if err := fw.Write(Frame{ID: 1, Op: OpWait, JobID: id}); err != nil {
+		t.Fatal(err)
+	}
+	// The wait is pending; a status request on the same conn must still be
+	// answered.
+	if err := fw.Write(Frame{ID: 2, Op: OpStatus}); err != nil {
+		t.Fatal(err)
+	}
+	var r Reply
+	if err := fr.Read(&r); err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != 2 || r.Status == nil {
+		t.Fatalf("expected status reply while wait pending, got %+v", r)
+	}
+	if err := sched.JobEnd(context.Background(), id); err != nil {
+		t.Fatal(err)
+	}
+	if err := fr.Read(&r); err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != 1 || !r.Final || r.Err != "" {
+		t.Fatalf("wait reply %+v", r)
+	}
+}
+
+func TestV2CancelAbortsPendingWait(t *testing.T) {
+	sched := scheduler.NewServer(4, false, nil)
+	srv, err := Serve("127.0.0.1:0", sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	id, err := sched.Submit(context.Background(), scheduler.JobSpec{
+		Name: "j", App: "mw", Iterations: 1,
+		InitialTopo: grid.Row1D(2), Chain: []grid.Topology{grid.Row1D(2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	conn, fw, fr := dialV2(t, srv.Addr())
+	defer conn.Close()
+	if err := fw.Write(Frame{ID: 7, Op: OpWait, JobID: id}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if err := fw.Write(Frame{ID: 8, Op: OpCancel, CancelID: 7}); err != nil {
+		t.Fatal(err)
+	}
+	got := map[uint64]Reply{}
+	for i := 0; i < 2; i++ {
+		var r Reply
+		if err := fr.Read(&r); err != nil {
+			t.Fatal(err)
+		}
+		got[r.ID] = r
+	}
+	if r := got[7]; r.Code != CodeCancelled {
+		t.Fatalf("wait reply after cancel: %+v", r)
+	}
+	if r := got[8]; !r.Final || r.Err != "" {
+		t.Fatalf("cancel ack: %+v", r)
+	}
+}
+
+func TestMalformedV1RequestGetsStructuredError(t *testing.T) {
+	sched := scheduler.NewServer(4, false, nil)
+	srv, err := Serve("127.0.0.1:0", sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A gob stream for the wrong type: decodes into Request with an error.
+	if err := gob.NewEncoder(conn).Encode(struct{ Bogus string }{"x"}); err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	if err := gob.NewDecoder(conn).Decode(&resp); err != nil {
+		t.Fatalf("expected structured error response, got %v", err)
+	}
+	if resp.Err == "" || resp.Code != CodeBadRequest {
+		t.Fatalf("response %+v", resp)
+	}
+	if st := srv.Stats(); st.Malformed == 0 {
+		t.Fatalf("malformed requests not counted: %+v", st)
+	}
+}
+
+func TestMalformedV2FrameGetsErrorFrame(t *testing.T) {
+	sched := scheduler.NewServer(4, false, nil)
+	srv, err := Serve("127.0.0.1:0", sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, _, fr := dialV2(t, srv.Addr())
+	defer conn.Close()
+	// Garbage that can never decode as a gob Frame message.
+	if _, err := conn.Write([]byte{0x04, 0xFF, 0xFF, 0xFF, 0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	var r Reply
+	if err := fr.Read(&r); err != nil {
+		t.Fatalf("expected error frame, got %v", err)
+	}
+	if r.Code != CodeBadRequest || !r.Final {
+		t.Fatalf("reply %+v", r)
+	}
+	if st := srv.Stats(); st.Malformed == 0 {
+		t.Fatalf("malformed frames not counted: %+v", st)
+	}
+}
+
+func TestV2UnknownOpAndZeroIDKeepConnectionUsable(t *testing.T) {
+	sched := scheduler.NewServer(4, false, nil)
+	srv, err := Serve("127.0.0.1:0", sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, fw, fr := dialV2(t, srv.Addr())
+	defer conn.Close()
+
+	if err := fw.Write(Frame{ID: 0, Op: OpStatus}); err != nil {
+		t.Fatal(err)
+	}
+	var r Reply
+	if err := fr.Read(&r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Code != CodeBadRequest {
+		t.Fatalf("zero-id reply %+v", r)
+	}
+
+	if err := fw.Write(Frame{ID: 3, Op: Op("nonsense")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fr.Read(&r); err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != 3 || r.Code != CodeUnknownOp {
+		t.Fatalf("unknown-op reply %+v", r)
+	}
+
+	// The connection survived both rejects.
+	if err := fw.Write(Frame{ID: 4, Op: OpStatus}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fr.Read(&r); err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != 4 || r.Status == nil {
+		t.Fatalf("status after rejects %+v", r)
+	}
+}
+
+func TestV2RejectsDuplicateInFlightID(t *testing.T) {
+	sched := scheduler.NewServer(4, false, nil)
+	srv, err := Serve("127.0.0.1:0", sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	id, err := sched.Submit(context.Background(), scheduler.JobSpec{
+		Name: "j", App: "mw", Iterations: 1,
+		InitialTopo: grid.Row1D(2), Chain: []grid.Topology{grid.Row1D(2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	conn, fw, fr := dialV2(t, srv.Addr())
+	defer conn.Close()
+	// Park a wait under ID 5, then reuse 5 while it is still in flight.
+	if err := fw.Write(Frame{ID: 5, Op: OpWait, JobID: id}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if err := fw.Write(Frame{ID: 5, Op: OpStatus}); err != nil {
+		t.Fatal(err)
+	}
+	var r Reply
+	if err := fr.Read(&r); err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != 5 || r.Code != CodeBadRequest || r.Status != nil {
+		t.Fatalf("duplicate-id reply %+v", r)
+	}
+	// The original wait must still be live and cancellable under its ID.
+	if err := fw.Write(Frame{ID: 6, Op: OpCancel, CancelID: 5}); err != nil {
+		t.Fatal(err)
+	}
+	got := map[uint64]Reply{}
+	for i := 0; i < 2; i++ {
+		if err := fr.Read(&r); err != nil {
+			t.Fatal(err)
+		}
+		got[r.ID] = r
+	}
+	if r := got[5]; r.Code != CodeCancelled {
+		t.Fatalf("original wait not cancelled: %+v", r)
+	}
+}
+
+func TestAcceptLoopBacksOffAfterListenerClose(t *testing.T) {
+	// Kill the listener out from under the accept loop (without marking the
+	// server done): the loop must record the error and back off instead of
+	// hot-spinning, and Err() must surface it.
+	sched := scheduler.NewServer(4, false, nil)
+	srv, err := Serve("127.0.0.1:0", sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	_ = srv.ln.Close()
+	deadline := time.After(2 * time.Second)
+	for srv.Err() == nil {
+		select {
+		case <-deadline:
+			t.Fatal("accept error never surfaced via Err()")
+		default:
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	time.Sleep(50 * time.Millisecond)
+	st := srv.Stats()
+	if st.AcceptErrors == 0 {
+		t.Fatal("accept errors not counted")
+	}
+	// With a min backoff of 1ms doubling to 1s, 50ms of failures can
+	// produce at most ~7 attempts; hot-spinning would produce thousands.
+	if st.AcceptErrors > 20 {
+		t.Fatalf("accept loop hot-spinning: %d errors in 50ms", st.AcceptErrors)
+	}
+}

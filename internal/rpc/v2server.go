@@ -1,0 +1,225 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"sync"
+)
+
+// v2conn is the server side of one multiplexed v2 connection: a read loop
+// decoding frames, concurrent per-request dispatch goroutines, and a
+// serialized writer.
+type v2conn struct {
+	srv  *Server
+	conn net.Conn
+	fw   *FrameWriter
+
+	wmu sync.Mutex // serializes frame writes on conn
+
+	// ctx is cancelled when the connection dies or the server closes;
+	// every in-flight request derives from it.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	inflight map[uint64]context.CancelFunc
+
+	reqs sync.WaitGroup
+}
+
+// serveV2 runs a multiplexed session on conn (the magic byte has already
+// been consumed; br may hold buffered bytes beyond it).
+func (s *Server) serveV2(conn net.Conn, br io.Reader) {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	c := &v2conn{
+		srv:      s,
+		conn:     conn,
+		fw:       NewFrameWriter(conn),
+		ctx:      ctx,
+		cancel:   cancel,
+		inflight: make(map[uint64]context.CancelFunc),
+	}
+	defer c.reqs.Wait()
+	defer cancel()
+
+	fr := NewFrameReader(br)
+	for {
+		var f Frame
+		if err := fr.Read(&f); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+				errors.Is(err, net.ErrClosed) || ctx.Err() != nil {
+				return // peer hung up / server shutting down
+			}
+			// The stream is unsynchronized after a bad frame: report and
+			// drop the connection.
+			s.malformed.Add(1)
+			s.logf("rpc: malformed v2 frame from %v: %v", conn.RemoteAddr(), err)
+			c.write(Reply{Final: true, Err: err.Error(), Code: CodeBadRequest})
+			return
+		}
+		if f.ID == 0 {
+			// Framing is intact, the request is just invalid: reject it
+			// and keep the connection.
+			s.malformed.Add(1)
+			c.write(Reply{Final: true, Err: "rpc: request id must be nonzero", Code: CodeBadRequest})
+			continue
+		}
+		if f.Op == OpCancel {
+			s.requests.Add(1)
+			c.cancelRequest(f.CancelID)
+			c.write(Reply{ID: f.ID, Final: true})
+			continue
+		}
+		c.reqs.Add(1)
+		go func(f Frame) {
+			defer c.reqs.Done()
+			c.dispatch(f)
+		}(f)
+	}
+}
+
+// write sends one reply frame; a failed write kills the connection.
+func (c *v2conn) write(r Reply) {
+	c.wmu.Lock()
+	err := c.fw.Write(r)
+	c.wmu.Unlock()
+	if err != nil {
+		c.cancel()
+	}
+}
+
+// cancelRequest aborts the in-flight request registered under id (no-op if
+// it already completed).
+func (c *v2conn) cancelRequest(id uint64) {
+	c.mu.Lock()
+	cancel := c.inflight[id]
+	c.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// register claims id for an in-flight request; it fails if the id is
+// already in use, enforcing the wire contract that request IDs are unique
+// among a connection's in-flight requests.
+func (c *v2conn) register(id uint64, cancel context.CancelFunc) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.inflight[id]; exists {
+		return false
+	}
+	c.inflight[id] = cancel
+	return true
+}
+
+func (c *v2conn) unregister(id uint64) {
+	c.mu.Lock()
+	delete(c.inflight, id)
+	c.mu.Unlock()
+}
+
+// dispatch runs one request to completion and writes its final reply.
+// Requests on one connection execute concurrently; replies are matched by
+// ID, not order.
+func (c *v2conn) dispatch(f Frame) {
+	ctx, cancel := context.WithCancel(c.ctx)
+	defer cancel()
+
+	s := c.srv
+	final := func(r Reply) {
+		r.ID = f.ID
+		r.Final = true
+		c.write(r)
+	}
+	if !c.register(f.ID, cancel) {
+		s.malformed.Add(1)
+		final(Reply{Err: "rpc: request id already in flight", Code: CodeBadRequest})
+		return
+	}
+	defer c.unregister(f.ID)
+	fail := func(err error) {
+		if ctx.Err() != nil {
+			final(Reply{Err: "rpc: request cancelled", Code: CodeCancelled})
+			return
+		}
+		final(Reply{Err: err.Error(), Code: CodeApp})
+	}
+
+	switch f.Op {
+	case OpSubmit:
+		s.requests.Add(1)
+		id, err := s.sched.Submit(ctx, f.Spec)
+		if err != nil {
+			fail(err)
+			return
+		}
+		final(Reply{JobID: id})
+	case OpContact:
+		s.requests.Add(1)
+		d, err := s.sched.Contact(ctx, f.JobID, f.Topo, f.IterTime, f.RedistTime)
+		if err != nil {
+			fail(err)
+			return
+		}
+		final(Reply{Decision: d})
+	case OpResizeComplete:
+		s.requests.Add(1)
+		if err := s.sched.ResizeComplete(ctx, f.JobID, f.RedistTime); err != nil {
+			fail(err)
+			return
+		}
+		final(Reply{})
+	case OpJobEnd:
+		s.requests.Add(1)
+		if err := s.sched.JobEnd(ctx, f.JobID); err != nil {
+			fail(err)
+			return
+		}
+		final(Reply{})
+	case OpJobError:
+		s.requests.Add(1)
+		if err := s.sched.JobError(ctx, f.JobID); err != nil {
+			fail(err)
+			return
+		}
+		final(Reply{})
+	case OpWait:
+		s.requests.Add(1)
+		// Unlike v1, a pending wait holds only this goroutine — the
+		// connection keeps serving other requests.
+		if err := s.sched.Wait(ctx, f.JobID); err != nil {
+			fail(err)
+			return
+		}
+		final(Reply{})
+	case OpStatus:
+		s.requests.Add(1)
+		st, err := s.sched.Status(ctx)
+		if err != nil {
+			fail(err)
+			return
+		}
+		final(Reply{Status: &st})
+	case OpWatch:
+		s.requests.Add(1)
+		s.watches.Add(1)
+		sub, err := s.sched.Watch(ctx, f.JobID)
+		if err != nil {
+			fail(err)
+			return
+		}
+		defer sub.Cancel()
+		for ev := range sub.C {
+			ev := ev
+			c.write(Reply{ID: f.ID, Event: &ev})
+		}
+		// Stream closed: subscription cancelled (client OpCancel, server
+		// shutdown, or connection loss).
+		final(Reply{})
+	default:
+		s.malformed.Add(1)
+		final(Reply{Err: "rpc: unknown op " + string(f.Op), Code: CodeUnknownOp})
+	}
+}

@@ -1,6 +1,7 @@
 package scheduler
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -228,26 +229,32 @@ func TestServerLifecycleWithStarter(t *testing.T) {
 		startedNames = append(startedNames, j.Spec.Name)
 		mu.Unlock()
 		// Simulate a short run with one resize point.
-		if _, err := srv.Contact(j.ID, j.Topo, 0.01, 0); err != nil {
+		ctx := context.Background()
+		if _, err := srv.Contact(ctx, j.ID, j.Topo, 0.01, 0); err != nil {
 			t.Errorf("contact: %v", err)
 		}
-		if err := srv.ResizeComplete(j.ID, 0.001); err != nil {
+		if err := srv.ResizeComplete(ctx, j.ID, 0.001); err != nil {
 			t.Errorf("resize complete: %v", err)
 		}
-		if err := srv.JobEnd(j.ID); err != nil {
+		if err := srv.JobEnd(ctx, j.ID); err != nil {
 			t.Errorf("job end: %v", err)
 		}
 	})
-	a, err := srv.Submit(spec("a", topo(2, 4), 8000))
+	ctx := context.Background()
+	a, err := srv.Submit(ctx, spec("a", topo(2, 4), 8000))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := srv.Submit(spec("b", topo(2, 2), 8000))
+	b, err := srv.Submit(ctx, spec("b", topo(2, 2), 8000))
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv.Wait(a.ID)
-	srv.Wait(b.ID)
+	if err := srv.Wait(ctx, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Wait(ctx, b); err != nil {
+		t.Fatal(err)
+	}
 	mu.Lock()
 	defer mu.Unlock()
 	if len(startedNames) != 2 {
@@ -262,18 +269,16 @@ func TestServerWaitAll(t *testing.T) {
 	var srv *Server
 	srv = NewServer(4, false, func(j *Job) {
 		time.Sleep(time.Millisecond)
-		srv.JobEnd(j.ID)
+		srv.JobEnd(context.Background(), j.ID)
 	})
 	for i := 0; i < 3; i++ {
-		if _, err := srv.Submit(spec("j", topo(1, 2), 8000)); err != nil {
+		if _, err := srv.Submit(context.Background(), spec("j", topo(1, 2), 8000)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	done := make(chan struct{})
-	go func() { srv.WaitAll(); close(done) }()
-	select {
-	case <-done:
-	case <-time.After(5 * time.Second):
-		t.Fatal("WaitAll timed out")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.WaitAll(ctx); err != nil {
+		t.Fatalf("WaitAll timed out: %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package scheduler
 
 import (
+	"context"
 	"testing"
 )
 
@@ -171,19 +172,22 @@ func TestCoreFailRecoversResources(t *testing.T) {
 }
 
 func TestServerJobError(t *testing.T) {
+	ctx := context.Background()
 	srv := NewServer(4, false, nil)
-	j, err := srv.Submit(spec("a", topo(2, 2), 8000))
+	j, err := srv.Submit(ctx, spec("a", topo(2, 2), 8000))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := srv.JobError(j.ID); err != nil {
+	if err := srv.JobError(ctx, j); err != nil {
 		t.Fatal(err)
 	}
 	if srv.Core().Free() != 4 {
 		t.Fatalf("free = %d", srv.Core().Free())
 	}
 	// Wait must not block on a failed job.
-	srv.Wait(j.ID)
+	if err := srv.Wait(ctx, j); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestCoreCustomPolicyWiring(t *testing.T) {

@@ -1,6 +1,8 @@
 package scheduler
 
 import (
+	"context"
+	"fmt"
 	"sync"
 	"time"
 
@@ -13,8 +15,13 @@ import (
 type JobStarter func(job *Job)
 
 // Server is the active, real-time front of the scheduler: it wraps the
-// passive Core with wall-clock timing and asynchronous job startup, and
-// implements the client interface the resizing library talks to.
+// passive Core with wall-clock timing, asynchronous job startup and a
+// job-event broker, and implements the full capability interface
+// (resize.Scheduler) the resizing library and the wire transports share —
+// so in-process and remote schedulers are interchangeable, including
+// Wait and Watch. Every call takes a context for deadline/cancel
+// uniformity with the remote implementations; in-process calls other than
+// Wait/WaitAll never block on it.
 //
 // Mapping to the paper's five components: Submit is the Application
 // Scheduler's command-line submission path; the JobStarter goroutines are
@@ -28,6 +35,14 @@ type Server struct {
 	starter JobStarter
 	epoch   time.Time
 	done    map[int]chan struct{}
+
+	// Event broker state (see watch.go): pubIdx is the high-water mark
+	// into core.Events already fanned out, seq the last published event
+	// sequence number.
+	subs    map[int]*subscriber
+	nextSub int
+	pubIdx  int
+	seq     uint64
 }
 
 // NewServer wraps a Core with a DefaultShards processor pool. starter may
@@ -45,6 +60,7 @@ func NewServerCore(core *Core, starter JobStarter) *Server {
 		starter: starter,
 		epoch:   time.Now(),
 		done:    make(map[int]chan struct{}),
+		pubIdx:  len(core.Events),
 	}
 }
 
@@ -56,19 +72,23 @@ func (s *Server) Now() float64 { return time.Since(s.epoch).Seconds() }
 // server operation.
 func (s *Server) Core() *Core { return s.core }
 
-// Submit enqueues a job; if processors are available it (and any backfilled
-// jobs) start immediately via the JobStarter.
-func (s *Server) Submit(spec JobSpec) (*Job, error) {
+// Submit enqueues a job and returns its id; if processors are available it
+// (and any backfilled jobs) start immediately via the JobStarter.
+func (s *Server) Submit(ctx context.Context, spec JobSpec) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	s.mu.Lock()
 	job, started, err := s.core.Submit(spec, s.Now())
 	if err != nil {
 		s.mu.Unlock()
-		return nil, err
+		return 0, err
 	}
 	s.done[job.ID] = make(chan struct{})
+	s.publishLocked()
 	s.mu.Unlock()
 	s.launch(started)
-	return job, nil
+	return job.ID, nil
 }
 
 func (s *Server) launch(started []*Job) {
@@ -81,17 +101,26 @@ func (s *Server) launch(started []*Job) {
 }
 
 // Contact implements the resize library's contact_scheduler call.
-func (s *Server) Contact(jobID int, topo grid.Topology, iterTime, redistTime float64) (Decision, error) {
+func (s *Server) Contact(ctx context.Context, jobID int, topo grid.Topology, iterTime, redistTime float64) (Decision, error) {
+	if err := ctx.Err(); err != nil {
+		return Decision{}, err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.core.Contact(jobID, topo, iterTime, redistTime, s.Now())
+	d, err := s.core.Contact(jobID, topo, iterTime, redistTime, s.Now())
+	s.publishLocked()
+	return d, err
 }
 
 // ResizeComplete reports that a granted resize has finished; freed
 // processors are recycled into queued jobs.
-func (s *Server) ResizeComplete(jobID int, redistTime float64) error {
+func (s *Server) ResizeComplete(ctx context.Context, jobID int, redistTime float64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	started, err := s.core.ResizeComplete(jobID, redistTime, s.Now())
+	s.publishLocked()
 	s.mu.Unlock()
 	if err != nil {
 		return err
@@ -101,14 +130,20 @@ func (s *Server) ResizeComplete(jobID int, redistTime float64) error {
 }
 
 // JobEnd is the System Monitor's job-completion signal.
-func (s *Server) JobEnd(jobID int) error {
+func (s *Server) JobEnd(ctx context.Context, jobID int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	return s.complete(jobID, s.core.Finish)
 }
 
 // JobError is the System Monitor's job-error signal: the application
 // monitor reports an internal failure and the scheduler deletes the job and
 // recovers its resources.
-func (s *Server) JobError(jobID int) error {
+func (s *Server) JobError(ctx context.Context, jobID int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	return s.complete(jobID, s.core.Fail)
 }
 
@@ -119,6 +154,7 @@ func (s *Server) complete(jobID int, fn func(int, float64) ([]*Job, error)) erro
 	if err == nil {
 		ch = s.done[jobID]
 	}
+	s.publishLocked()
 	s.mu.Unlock()
 	if err != nil {
 		return err
@@ -130,18 +166,25 @@ func (s *Server) complete(jobID int, fn func(int, float64) ([]*Job, error)) erro
 	return nil
 }
 
-// Wait blocks until the job has finished.
-func (s *Server) Wait(jobID int) {
+// Wait blocks until the job has finished or the context is done.
+func (s *Server) Wait(ctx context.Context, jobID int) error {
 	s.mu.Lock()
-	ch := s.done[jobID]
+	ch, ok := s.done[jobID]
 	s.mu.Unlock()
-	if ch != nil {
-		<-ch
+	if !ok {
+		return fmt.Errorf("scheduler: wait: unknown job %d", jobID)
+	}
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
-// WaitAll blocks until every submitted job has finished.
-func (s *Server) WaitAll() {
+// WaitAll blocks until every submitted job has finished or the context is
+// done.
+func (s *Server) WaitAll(ctx context.Context) error {
 	s.mu.Lock()
 	chans := make([]chan struct{}, 0, len(s.done))
 	for _, ch := range s.done {
@@ -149,6 +192,11 @@ func (s *Server) WaitAll() {
 	}
 	s.mu.Unlock()
 	for _, ch := range chans {
-		<-ch
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 	}
+	return nil
 }

@@ -1,0 +1,136 @@
+package scheduler
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func collectEvents(t *testing.T, sub *Subscription, n int) []JobEvent {
+	t.Helper()
+	var out []JobEvent
+	deadline := time.After(5 * time.Second)
+	for len(out) < n {
+		select {
+		case ev, ok := <-sub.C:
+			if !ok {
+				t.Fatalf("stream closed after %d events, want %d", len(out), n)
+			}
+			out = append(out, ev)
+		case <-deadline:
+			t.Fatalf("timed out after %d events, want %d", len(out), n)
+		}
+	}
+	return out
+}
+
+func TestServerWatchStreamsTransitions(t *testing.T) {
+	ctx := context.Background()
+	srv := NewServer(8, true, nil)
+	sub, err := srv.Watch(ctx, AllJobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Cancel()
+
+	id, err := srv.Submit(ctx, spec("a", topo(2, 2), 8000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.JobEnd(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	evs := collectEvents(t, sub, 3)
+	kinds := []string{evs[0].Kind, evs[1].Kind, evs[2].Kind}
+	if kinds[0] != "submit" || kinds[1] != "start" || kinds[2] != "end" {
+		t.Fatalf("kinds %v", kinds)
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("seq %d at position %d", ev.Seq, i)
+		}
+		if ev.JobID != id {
+			t.Fatalf("event for job %d, want %d", ev.JobID, id)
+		}
+		if ev.Busy+ev.Free != 8 {
+			t.Fatalf("busy+free = %d", ev.Busy+ev.Free)
+		}
+	}
+}
+
+func TestServerWatchFiltersByJob(t *testing.T) {
+	ctx := context.Background()
+	srv := NewServer(8, true, nil)
+	a, err := srv.Submit(ctx, spec("a", topo(1, 2), 8000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := srv.Watch(ctx, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Cancel()
+
+	// Another job's events must not reach this subscription; history from
+	// before the Watch call must not replay.
+	b, err := srv.Submit(ctx, spec("b", topo(1, 2), 8000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.JobEnd(ctx, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.JobEnd(ctx, a); err != nil {
+		t.Fatal(err)
+	}
+	evs := collectEvents(t, sub, 1)
+	if evs[0].Kind != "end" || evs[0].JobID != a {
+		t.Fatalf("event %+v", evs[0])
+	}
+}
+
+func TestServerWatchCancelClosesStream(t *testing.T) {
+	srv := NewServer(4, false, nil)
+	sub, err := srv.Watch(context.Background(), AllJobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub.Cancel()
+	select {
+	case _, ok := <-sub.C:
+		if ok {
+			t.Fatal("got event after cancel")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream not closed after cancel")
+	}
+	// Publishing after cancel must not panic or block.
+	if _, err := srv.Submit(context.Background(), spec("a", topo(1, 2), 8000)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatusSnapshot(t *testing.T) {
+	ctx := context.Background()
+	srv := NewServer(4, false, nil)
+	running, err := srv.Submit(ctx, spec("r", topo(2, 2), 8000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Submit(ctx, spec("q", topo(2, 2), 8000)); err != nil {
+		t.Fatal(err)
+	}
+	st, err := srv.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Total != 4 || st.Free != 0 || st.Busy != 4 || st.QueueLen != 1 {
+		t.Fatalf("status %+v", st)
+	}
+	if len(st.Jobs) != 2 || st.Jobs[0].ID != running || st.Jobs[0].State != "running" || st.Jobs[0].Procs != 4 {
+		t.Fatalf("jobs %+v", st.Jobs)
+	}
+	if st.Jobs[1].State != "queued" || st.Jobs[1].Procs != 0 {
+		t.Fatalf("queued job %+v", st.Jobs[1])
+	}
+}
