@@ -29,7 +29,7 @@ func main() {
 	watch := flag.Bool("watch", false, "stream job events until interrupted")
 	timeout := flag.Duration("timeout", 0, "overall deadline for the command (0 = none)")
 	name := flag.String("name", "job", "job name")
-	app := flag.String("app", "lu", "application: lu, mm, jacobi, fft, mw")
+	app := flag.String("app", "lu", "application: lu, mm, jacobi, fft, mw, cg")
 	n := flag.Int("n", 64, "problem size")
 	nb := flag.Int("nb", 4, "block size")
 	iters := flag.Int("iters", 10, "outer iterations")

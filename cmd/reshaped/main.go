@@ -26,6 +26,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/rpc"
 	"repro/internal/scheduler"
+	sdk "repro/pkg/reshape"
 )
 
 func main() {
@@ -51,7 +52,15 @@ func main() {
 			cfg.NB = 2
 		}
 		log.Printf("starting job %d (%s) on %v", j.ID, j.Spec.Name, j.Topo)
-		if err := apps.Launch(srv, j.ID, j.Topo, cfg); err != nil {
+		// The job runs through the application SDK; its lifecycle events
+		// surface the resize trajectory in the daemon log.
+		logger := sdk.Logger(func(ev sdk.Event) {
+			if ev.Kind == sdk.EventResize {
+				log.Printf("job %d (%s) resized %v -> %v (%.4fs redistribution)",
+					j.ID, j.Spec.Name, ev.From, ev.Topo, ev.Seconds)
+			}
+		})
+		if err := apps.Launch(srv, j.ID, j.Topo, cfg, sdk.WithLogger(logger)); err != nil {
 			log.Printf("job %d failed: %v", j.ID, err)
 			_ = srv.JobError(context.Background(), j.ID)
 			return

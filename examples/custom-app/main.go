@@ -1,9 +1,11 @@
-// Porting a custom application to ReSHAPE: a distributed power-iteration
-// solver written directly against the resizing API. The pattern mirrors
-// §3.2.3 of the paper — register the global arrays, keep replicated state
-// in the session, and call Resize at the end of every outer iteration. The
-// scheduler may grow or shrink the processor set between iterations; the
-// worker function is re-entered by newly spawned ranks automatically.
+// Porting a custom application to ReSHAPE with the public SDK: a
+// distributed power-iteration solver written against the App lifecycle.
+// The pattern mirrors §3.2.3 of the paper — register the global arrays and
+// replicated state in Init, do one outer iteration in Iterate — but the
+// loop, resize points, redistribution and spawned-rank re-entry that the
+// pre-SDK port hand-rolled in a worker closure now live in reshape.Run.
+// The optional OnResize hook observes every topology change, including the
+// moment a newly spawned rank joins.
 //
 //	go run ./examples/custom-app
 package main
@@ -13,12 +15,11 @@ import (
 	"fmt"
 	"log"
 	"math"
-	"time"
 
 	"repro/internal/grid"
 	"repro/internal/mpi"
-	"repro/internal/resize"
 	"repro/internal/scheduler"
+	"repro/pkg/reshape"
 )
 
 const (
@@ -27,17 +28,37 @@ const (
 	iterations = 8
 )
 
-// powerIteration performs one outer iteration: y = A*x (distributed),
-// normalize, x <- y. Returns the eigenvalue estimate ||y||.
-func powerIteration(s *resize.Session) (float64, error) {
-	a, ok := s.Array("A")
-	if !ok {
-		return 0, fmt.Errorf("array A missing")
+// power is the resizable application: a symmetric matrix A distributed
+// block-cyclically and a replicated iterate vector x.
+type power struct{}
+
+func (power) Init(rc *reshape.Context) error {
+	a := rc.RegisterArray("A", n, n, nb, nb)
+	rc.FillArray(a, func(i, j int) float64 {
+		v := 1.0 / (1.0 + math.Abs(float64(i-j)))
+		if i == j {
+			v += 2
+		}
+		return v
+	})
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1 / math.Sqrt(n)
 	}
-	x := s.Replicated("x")
-	l := a.LayoutFor(s.Topo())
-	rank := s.Comm().Rank()
-	pr, pc := l.Coords(rank)
+	rc.RegisterReplicated("x", x)
+	return nil
+}
+
+// Iterate performs one power step: y = A*x (distributed), normalize,
+// x <- y. The eigenvalue estimate ||y|| is printed on rank 0.
+func (power) Iterate(rc *reshape.Context) error {
+	a, ok := rc.Array("A")
+	if !ok {
+		return fmt.Errorf("array A missing")
+	}
+	x := rc.Replicated("x")
+	l := a.LayoutFor(rc.Topo())
+	pr, pc := l.Coords(rc.Rank())
 	rows, cols := l.LocalRows(pr), l.LocalCols(pc)
 
 	// Local partial products against the replicated vector.
@@ -48,7 +69,7 @@ func powerIteration(s *resize.Session) (float64, error) {
 			partial[gi] += a.Data[li*cols+lj] * x[gj]
 		}
 	}
-	y := s.Comm().Allreduce(partial, mpi.SumOp)
+	y := rc.Comm().Allreduce(partial, mpi.SumOp)
 	norm := 0.0
 	for _, v := range y {
 		norm += v * v
@@ -57,56 +78,33 @@ func powerIteration(s *resize.Session) (float64, error) {
 	for i := range y {
 		x[i] = y[i] / norm
 	}
-	return norm, nil
+	if rc.Rank() == 0 {
+		fmt.Printf("  iter %d on %-5v  lambda=%.4f\n", rc.Iter()+1, rc.Topo(), norm)
+	}
+	return nil
 }
 
-// worker is the application body run by every rank, including ranks spawned
-// during expansion.
-func worker(s *resize.Session) error {
-	for s.Iter() < iterations {
-		t0 := time.Now()
-		lambda, err := powerIteration(s)
-		if err != nil {
-			return err
-		}
-		elapsed := time.Since(t0).Seconds()
-		if s.Comm().Rank() == 0 {
-			fmt.Printf("  iter %d on %-5v  lambda=%.4f  (%.4fs)\n",
-				s.Iter()+1, s.Topo(), lambda, elapsed)
-		}
-		s.Log(elapsed)
-		status, err := s.Resize(elapsed)
-		if err != nil {
-			return err
-		}
-		if status == resize.Retired {
-			return nil // this rank was shrunk away
-		}
+// OnResize is the optional lifecycle hook: every rank is notified after a
+// topology change, and spawned ranks get a Joined notification (their
+// replicated x arrived through the resize library's bootstrap broadcast).
+func (power) OnResize(rc *reshape.Context, ev reshape.ResizeEvent) error {
+	if ev.Kind == reshape.Joined || rc.Rank() != 0 {
+		return nil
 	}
-	return s.Done()
+	fmt.Printf("  %s %v -> %v after iteration %d (%.4fs redistribution)\n",
+		ev.Kind, ev.From, ev.To, ev.Iter, ev.Seconds)
+	return nil
 }
 
 func main() {
 	const procs = 6
 	var srv *scheduler.Server
 	srv = scheduler.NewServer(procs, true, func(j *scheduler.Job) {
-		world := mpi.NewWorld()
-		err := world.Run(j.Topo.Count(), func(c *mpi.Comm) error {
-			sess, err := resize.NewSession(srv, j.ID, c, j.Topo, worker)
-			if err != nil {
-				return err
-			}
-			// Register the global matrix and the replicated vector.
-			a := &resize.Array{Name: "A", M: n, N: n, MB: nb, NB: nb}
-			sess.RegisterArray(a)
-			fill(sess, a)
-			x := make([]float64, n)
-			for i := range x {
-				x[i] = 1 / math.Sqrt(n)
-			}
-			sess.SetReplicated("x", x)
-			return worker(sess)
-		})
+		_, err := reshape.Run(context.Background(), power{},
+			reshape.WithScheduler(srv),
+			reshape.WithJobID(j.ID),
+			reshape.WithTopology(j.Topo),
+			reshape.WithMaxIterations(iterations))
 		if err != nil {
 			log.Fatalf("job failed: %v", err)
 		}
@@ -128,23 +126,4 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("done; every topology change redistributed A and re-replicated x.")
-}
-
-// fill populates the symmetric test matrix.
-func fill(s *resize.Session, a *resize.Array) {
-	l := a.LayoutFor(s.Topo())
-	rank := s.Comm().Rank()
-	pr, pc := l.Coords(rank)
-	rows, cols := l.LocalRows(pr), l.LocalCols(pc)
-	a.Data = make([]float64, rows*cols)
-	for li := 0; li < rows; li++ {
-		for lj := 0; lj < cols; lj++ {
-			gi, gj := l.LocalToGlobal(pr, pc, li, lj)
-			v := 1.0 / (1.0 + math.Abs(float64(gi-gj)))
-			if gi == gj {
-				v += 2
-			}
-			a.Data[li*cols+lj] = v
-		}
-	}
 }

@@ -1,5 +1,6 @@
-// Quickstart: run one resizable LU job under an in-process ReSHAPE
-// scheduler and watch it expand across an idle pool.
+// Quickstart: a minimal resizable application on the public SDK
+// (pkg/reshape), run under an in-process ReSHAPE scheduler that expands it
+// across an idle pool. This is the README's quickstart program.
 //
 //	go run ./examples/quickstart
 package main
@@ -12,17 +13,60 @@ import (
 	"repro/internal/apps"
 	"repro/internal/grid"
 	"repro/internal/scheduler"
+	"repro/pkg/reshape"
 )
+
+// demo is a complete resizable application: Init registers one distributed
+// matrix, Iterate factors a fresh copy of it (the paper's LU workload).
+// Everything else — the iterate/log/resize loop, scheduler contacts, data
+// redistribution, re-entry of newly spawned ranks — is reshape.Run's job.
+type demo struct{}
+
+func (demo) Init(rc *reshape.Context) error {
+	a := rc.RegisterArray("A", 32, 32, 4, 4)
+	rc.FillArray(a, func(i, j int) float64 {
+		if i == j {
+			return 32 + 1/float64(1+i)
+		}
+		return 1 / float64(1+abs(i-j))
+	})
+	return nil
+}
+
+func (demo) Iterate(rc *reshape.Context) error {
+	a, _ := rc.Array("A")
+	work := append([]float64(nil), a.Data...)
+	return apps.DistLU(rc.Grid(), a.LayoutFor(rc.Topo()), work)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
 
 func main() {
 	const procs = 8
 
-	// The scheduler server owns the processor pool. Its JobStarter launches
-	// each granted job on a fresh set of ranks (goroutines).
+	// The scheduler server owns the processor pool. Its JobStarter runs
+	// each granted job through the SDK on a fresh set of ranks.
 	var srv *scheduler.Server
 	srv = scheduler.NewServer(procs, true, func(j *scheduler.Job) {
-		cfg := apps.Config{App: "lu", N: 32, NB: 4, Iterations: 6}
-		if err := apps.Launch(srv, j.ID, j.Topo, cfg); err != nil {
+		_, err := reshape.Run(context.Background(), demo{},
+			reshape.WithScheduler(srv),
+			reshape.WithJobID(j.ID),
+			reshape.WithTopology(j.Topo),
+			reshape.WithMaxIterations(6),
+			reshape.WithLogger(func(ev reshape.Event) {
+				switch ev.Kind {
+				case reshape.EventIterate:
+					fmt.Printf("  iter %d on %-5v  %.4fs\n", ev.Iter, ev.Topo, ev.Seconds)
+				case reshape.EventResize:
+					fmt.Printf("  resized %v -> %v (%.4fs redistribution)\n", ev.From, ev.Topo, ev.Seconds)
+				}
+			}))
+		if err != nil {
 			log.Fatalf("job failed: %v", err)
 		}
 	})
@@ -47,7 +91,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Println("allocation history:")
+	fmt.Println("\nallocation history:")
 	for _, e := range srv.Core().Events {
 		fmt.Printf("  t=%7.3fs %-7s %-14s topo=%-5v busy=%d/%d\n",
 			e.Time, e.Kind, e.Job, e.Topo, e.Busy, procs)

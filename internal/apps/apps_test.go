@@ -362,19 +362,53 @@ func TestMasterWorkerRepeatedRounds(t *testing.T) {
 }
 
 func TestBuildRejectsUnknownApp(t *testing.T) {
-	if _, err := Build(Config{App: "nope"}); err == nil {
+	if _, err := Build(Config{App: "nope", N: 8, NB: 2, Iterations: 1}); err == nil {
 		t.Fatal("unknown app accepted")
 	}
 }
 
 func TestBuildKnownApps(t *testing.T) {
-	for _, app := range []string{"lu", "mm", "jacobi", "fft", "mw"} {
-		r, err := Build(Config{App: app, N: 8, NB: 2, Iterations: 1})
+	for _, app := range []string{"lu", "mm", "jacobi", "fft", "mw", "cg"} {
+		a, err := Build(Config{App: app, N: 8, NB: 2, Iterations: 1})
 		if err != nil {
 			t.Fatalf("%s: %v", app, err)
 		}
-		if r.Setup == nil || r.Worker == nil {
-			t.Fatalf("%s: incomplete runner", app)
+		if a == nil {
+			t.Fatalf("%s: nil app", app)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"valid lu", Config{App: "lu", N: 8, NB: 2, Iterations: 1}, true},
+		{"valid mw without sizes", Config{App: "mw", Iterations: 3}, true},
+		{"unknown app", Config{App: "summa", N: 8, NB: 2, Iterations: 1}, false},
+		{"empty app", Config{N: 8, NB: 2, Iterations: 1}, false},
+		{"zero iterations", Config{App: "lu", N: 8, NB: 2}, false},
+		{"negative iterations", Config{App: "mw", Iterations: -1}, false},
+		{"zero size", Config{App: "lu", NB: 2, Iterations: 1}, false},
+		{"negative size", Config{App: "mm", N: -4, NB: 2, Iterations: 1}, false},
+		{"zero block", Config{App: "jacobi", N: 8, Iterations: 1}, false},
+		{"negative block", Config{App: "cg", N: 8, NB: -1, Iterations: 1}, false},
+		{"fft non-power-of-two", Config{App: "fft", N: 12, NB: 2, Iterations: 1}, false},
+		{"fft power of two", Config{App: "fft", N: 16, NB: 2, Iterations: 1}, true},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: invalid config accepted", tc.name)
+		}
+		// Build must agree with Validate.
+		if _, err := Build(tc.cfg); (err == nil) != tc.ok {
+			t.Errorf("%s: Build disagrees with Validate (err=%v)", tc.name, err)
 		}
 	}
 }

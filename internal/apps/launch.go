@@ -1,31 +1,34 @@
 package apps
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/grid"
-	"repro/internal/mpi"
 	"repro/internal/resize"
+	"repro/pkg/reshape"
 )
 
 // Launch runs one application job on a fresh set of ranks (its own world),
-// wired to the given scheduler client — the body of the paper's Job Startup
-// component. It blocks until the job finishes (including any ranks spawned
-// by expansions) and returns the joined error of all ranks.
-func Launch(client resize.Client, jobID int, topo grid.Topology, cfg Config) error {
-	runner, err := Build(cfg)
+// wired to the given scheduler client — the body of the paper's Job
+// Startup component. The job executes through the public SDK
+// (reshape.Run), so the scheduler drives its resize points; extra options
+// (loggers, resize-point spacing, call timeouts) pass through. Launch
+// blocks until the job finishes, including any ranks spawned by
+// expansions, and returns the joined error of all ranks.
+func Launch(client resize.Client, jobID int, topo grid.Topology, cfg Config, opts ...reshape.Option) error {
+	app, err := Build(cfg)
 	if err != nil {
 		return err
 	}
-	world := mpi.NewWorld()
-	return world.Run(topo.Count(), func(c *mpi.Comm) error {
-		sess, err := resize.NewSession(client, jobID, c, topo, runner.Worker)
-		if err != nil {
-			return fmt.Errorf("apps: session for job %d: %w", jobID, err)
-		}
-		if err := runner.Setup(sess); err != nil {
-			return fmt.Errorf("apps: setup for job %d: %w", jobID, err)
-		}
-		return runner.Worker(sess)
-	})
+	runOpts := append([]reshape.Option{
+		reshape.WithScheduler(client),
+		reshape.WithJobID(jobID),
+		reshape.WithTopology(topo),
+		reshape.WithMaxIterations(cfg.Iterations),
+	}, opts...)
+	if _, err := reshape.Run(context.Background(), app, runOpts...); err != nil {
+		return fmt.Errorf("apps: job %d (%s): %w", jobID, cfg.App, err)
+	}
+	return nil
 }

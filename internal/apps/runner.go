@@ -3,20 +3,19 @@ package apps
 import (
 	"fmt"
 	"math"
-	"time"
 
-	"repro/internal/resize"
+	"repro/pkg/reshape"
 )
 
 // Config describes one application instance, mirroring the paper's Table 1
 // workloads.
 type Config struct {
-	App        string // "lu", "mm", "jacobi", "fft", "mw"
+	App        string // "lu", "mm", "jacobi", "fft", "mw", "cg"
 	N          int    // problem size (matrix dimension / FFT size)
 	NB         int    // block size (square for 2-D apps; row block for 1-D)
 	Iterations int    // outer iterations per job (10 in the paper)
 
-	// Jacobi: inner sweeps per outer iteration.
+	// Jacobi / CG: inner sweeps (CG steps) per outer iteration.
 	Sweeps int
 	// Master-worker: work units per outer iteration, chunking, unit cost.
 	MWUnits    int
@@ -24,132 +23,87 @@ type Config struct {
 	MWUnitWork int
 }
 
-// Runner bundles an application's one-time setup (run by the initial ranks)
-// with the worker loop run by every rank, including ranks spawned during
-// later expansions.
-type Runner struct {
-	// Setup registers and fills the global arrays. Collective over the
-	// initial communicator.
-	Setup func(s *resize.Session) error
-	// Worker is the iterate/resize loop.
-	Worker resize.Worker
+// arrayApps are the applications built around distributed global arrays;
+// they require positive problem and block sizes.
+var arrayApps = map[string]bool{"lu": true, "mm": true, "jacobi": true, "fft": true, "cg": true}
+
+// Validate checks a configuration without building it: the application
+// must be known, the iteration count positive, and array-based apps need
+// positive problem and block sizes (the FFT additionally a power-of-two
+// size, which its kernel's butterfly requires).
+func (c Config) Validate() error {
+	switch c.App {
+	case "lu", "mm", "jacobi", "fft", "mw", "cg":
+	default:
+		return fmt.Errorf("apps: unknown application %q", c.App)
+	}
+	if c.Iterations <= 0 {
+		return fmt.Errorf("apps: %s: iterations must be positive, got %d", c.App, c.Iterations)
+	}
+	if arrayApps[c.App] {
+		if c.N <= 0 {
+			return fmt.Errorf("apps: %s: problem size must be positive, got %d", c.App, c.N)
+		}
+		if c.NB <= 0 {
+			return fmt.Errorf("apps: %s: block size must be positive, got %d", c.App, c.NB)
+		}
+	}
+	if c.App == "fft" && c.N&(c.N-1) != 0 {
+		return fmt.Errorf("apps: fft: size must be a power of two, got %d", c.N)
+	}
+	return nil
 }
 
-// Build constructs the Runner for a configuration.
-func Build(cfg Config) (*Runner, error) {
+// normalized fills in the defaulted tuning knobs.
+func (c Config) normalized() Config {
+	if c.Sweeps <= 0 {
+		switch c.App {
+		case "jacobi":
+			c.Sweeps = 3
+		case "cg":
+			c.Sweeps = 4
+		}
+	}
+	if c.MWUnits <= 0 {
+		c.MWUnits = 1000
+	}
+	if c.MWChunk <= 0 {
+		c.MWChunk = 50
+	}
+	if c.MWUnitWork <= 0 {
+		c.MWUnitWork = 200
+	}
+	return c
+}
+
+// Build validates a configuration and constructs its application for
+// reshape.Run. Every app registers its global arrays and replicated
+// vectors in Init and performs one outer iteration per Iterate; the SDK
+// runner owns the loop, resize points and iteration accounting that the
+// pre-SDK worker closures duplicated.
+func Build(cfg Config) (reshape.App, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.normalized()
 	switch cfg.App {
 	case "lu":
-		return buildLU(cfg), nil
+		return luApp{cfg: cfg}, nil
 	case "mm":
-		return buildMM(cfg), nil
+		return mmApp{cfg: cfg}, nil
 	case "jacobi":
-		return buildJacobi(cfg), nil
+		return jacobiApp{cfg: cfg}, nil
 	case "fft":
-		return buildFFT(cfg), nil
+		return fftApp{cfg: cfg}, nil
 	case "mw":
-		return buildMW(cfg), nil
-	case "cg":
-		return buildCG(cfg), nil
-	default:
-		return nil, fmt.Errorf("apps: unknown application %q", cfg.App)
+		return mwApp{cfg: cfg}, nil
+	default: // "cg" — Validate already rejected anything else
+		return cgApp{cfg: cfg}, nil
 	}
 }
 
-// buildCG constructs the resizable conjugate-gradient application: a 2-D
-// distributed SPD matrix with replicated b and x, running cfg.Sweeps CG
-// steps per outer iteration. It extends the paper's workload set with a
-// Krylov solver, per the future-work direction of supporting a wider array
-// of distributed data structures.
-func buildCG(cfg Config) *Runner {
-	steps := cfg.Sweeps
-	if steps <= 0 {
-		steps = 4
-	}
-	iterate := func(s *resize.Session) error {
-		a, ok := s.Array("A")
-		if !ok {
-			return fmt.Errorf("apps: cg: array A missing")
-		}
-		b := s.Replicated("b")
-		x := s.Replicated("x")
-		if b == nil || x == nil {
-			return fmt.Errorf("apps: cg: replicated vectors missing")
-		}
-		res, err := DistCG(s.Ctx(), a.LayoutFor(s.Topo()), a.Data, b, x, steps)
-		if err != nil {
-			return err
-		}
-		s.SetReplicated("residual", []float64{res})
-		return nil
-	}
-	return &Runner{
-		Setup: func(s *resize.Session) error {
-			a := &resize.Array{Name: "A", M: cfg.N, N: cfg.N, MB: cfg.NB, NB: cfg.NB}
-			s.RegisterArray(a)
-			// SPD: symmetric off-diagonal decay with dominant diagonal.
-			fillArray(s, a, func(i, j int) float64 {
-				v := 1.0 / (1.0 + math.Abs(float64(i-j)))
-				if i == j {
-					v += float64(cfg.N)
-				}
-				return v
-			})
-			b := make([]float64, cfg.N)
-			for i := range b {
-				b[i] = 1 + float64(i%3)
-			}
-			s.SetReplicated("b", b)
-			s.SetReplicated("x", make([]float64, cfg.N))
-			return nil
-		},
-		Worker: loopWorker(cfg.Iterations, iterate),
-	}
-}
-
-// loopWorker is the canonical outer loop of a ReSHAPE application: iterate,
-// log, contact the scheduler at the resize point, and either continue
-// (possibly on a different processor set) or retire.
-func loopWorker(iterations int, iterate func(*resize.Session) error) resize.Worker {
-	return func(s *resize.Session) error {
-		for s.Iter() < iterations {
-			t0 := time.Now()
-			if err := iterate(s); err != nil {
-				return err
-			}
-			elapsed := time.Since(t0).Seconds()
-			s.Log(elapsed)
-			st, err := s.Resize(elapsed)
-			if err != nil {
-				return err
-			}
-			if st == resize.Retired {
-				return nil
-			}
-		}
-		return s.Done()
-	}
-}
-
-// fillArray populates a rank's local piece of an array from a global-index
-// function.
-func fillArray(s *resize.Session, a *resize.Array, f func(i, j int) float64) {
-	l := a.LayoutFor(s.Topo())
-	rank := s.Comm().Rank()
-	if rank >= l.Grid.Count() {
-		return
-	}
-	pr, pc := l.Coords(rank)
-	rows, cols := l.LocalRows(pr), l.LocalCols(pc)
-	a.Data = make([]float64, rows*cols)
-	for li := 0; li < rows; li++ {
-		for lj := 0; lj < cols; lj++ {
-			gi, gj := l.LocalToGlobal(pr, pc, li, lj)
-			a.Data[li*cols+lj] = f(gi, gj)
-		}
-	}
-}
-
-// luEntry is the diagonally dominant test matrix used by the LU workload.
+// luEntry is the diagonally dominant test matrix used by the LU and CG
+// workloads.
 func luEntry(n int) func(i, j int) float64 {
 	return func(i, j int) float64 {
 		v := 1.0 / (1.0 + math.Abs(float64(i-j)))
@@ -160,146 +114,161 @@ func luEntry(n int) func(i, j int) float64 {
 	}
 }
 
-func buildLU(cfg Config) *Runner {
-	iterate := func(s *resize.Session) error {
-		a, ok := s.Array("A")
-		if !ok {
-			return fmt.Errorf("apps: lu: array A missing")
-		}
-		// Each outer iteration factors a fresh copy, as in the paper's "ten
-		// LU factorizations" per job.
-		work := make([]float64, len(a.Data))
-		copy(work, a.Data)
-		return DistLU(s.Ctx(), a.LayoutFor(s.Topo()), work)
-	}
-	return &Runner{
-		Setup: func(s *resize.Session) error {
-			a := &resize.Array{Name: "A", M: cfg.N, N: cfg.N, MB: cfg.NB, NB: cfg.NB}
-			s.RegisterArray(a)
-			fillArray(s, a, luEntry(cfg.N))
-			return nil
-		},
-		Worker: loopWorker(cfg.Iterations, iterate),
-	}
+// luApp factors a fresh copy of a diagonally dominant matrix every
+// iteration, the paper's "ten LU factorizations" per job.
+type luApp struct{ cfg Config }
+
+func (a luApp) Init(rc *reshape.Context) error {
+	arr := rc.RegisterArray("A", a.cfg.N, a.cfg.N, a.cfg.NB, a.cfg.NB)
+	rc.FillArray(arr, luEntry(a.cfg.N))
+	return nil
 }
 
-func buildMM(cfg Config) *Runner {
-	iterate := func(s *resize.Session) error {
-		a, _ := s.Array("A")
-		b, _ := s.Array("B")
-		c, _ := s.Array("C")
-		if a == nil || b == nil || c == nil {
-			return fmt.Errorf("apps: mm: arrays missing")
-		}
-		return DistMatMul(s.Ctx(), a.LayoutFor(s.Topo()), a.Data, b.Data, c.Data)
+func (a luApp) Iterate(rc *reshape.Context) error {
+	arr, ok := rc.Array("A")
+	if !ok {
+		return fmt.Errorf("apps: lu: array A missing")
 	}
-	return &Runner{
-		Setup: func(s *resize.Session) error {
-			mk := func(name string) *resize.Array {
-				arr := &resize.Array{Name: name, M: cfg.N, N: cfg.N, MB: cfg.NB, NB: cfg.NB}
-				s.RegisterArray(arr)
-				return arr
-			}
-			a, b, c := mk("A"), mk("B"), mk("C")
-			fillArray(s, a, func(i, j int) float64 { return math.Sin(float64(i*7 + j)) })
-			fillArray(s, b, func(i, j int) float64 { return math.Cos(float64(i + j*5)) })
-			fillArray(s, c, func(i, j int) float64 { return 0 })
-			return nil
-		},
-		Worker: loopWorker(cfg.Iterations, iterate),
-	}
+	work := make([]float64, len(arr.Data))
+	copy(work, arr.Data)
+	return DistLU(rc.Grid(), arr.LayoutFor(rc.Topo()), work)
 }
 
-func buildJacobi(cfg Config) *Runner {
-	sweeps := cfg.Sweeps
-	if sweeps <= 0 {
-		sweeps = 3
-	}
-	iterate := func(s *resize.Session) error {
-		a, _ := s.Array("A")
-		bv, _ := s.Array("b")
-		if a == nil || bv == nil {
-			return fmt.Errorf("apps: jacobi: arrays missing")
-		}
-		x := s.Replicated("x")
-		if x == nil {
-			return fmt.Errorf("apps: jacobi: replicated x missing")
-		}
-		res, err := JacobiSweeps(s.Ctx(), a.LayoutFor(s.Topo()), a.Data, bv.Data, x, sweeps)
-		if err != nil {
-			return err
-		}
-		s.SetReplicated("residual", []float64{res})
-		return nil
-	}
-	return &Runner{
-		Setup: func(s *resize.Session) error {
-			a := &resize.Array{Name: "A", M: cfg.N, N: cfg.N, MB: cfg.NB, NB: cfg.N}
-			bv := &resize.Array{Name: "b", M: cfg.N, N: 1, MB: cfg.NB, NB: 1}
-			s.RegisterArray(a)
-			s.RegisterArray(bv)
-			fillArray(s, a, func(i, j int) float64 {
-				if i == j {
-					return float64(cfg.N)
-				}
-				return 1.0 / (1.0 + float64((i+j)%7))
-			})
-			fillArray(s, bv, func(i, j int) float64 { return 1 + float64(i%5) })
-			s.SetReplicated("x", make([]float64, cfg.N))
-			return nil
-		},
-		Worker: loopWorker(cfg.Iterations, iterate),
-	}
+// mmApp multiplies two distributed matrices (SUMMA) per iteration.
+type mmApp struct{ cfg Config }
+
+func (a mmApp) Init(rc *reshape.Context) error {
+	n, nb := a.cfg.N, a.cfg.NB
+	A := rc.RegisterArray("A", n, n, nb, nb)
+	B := rc.RegisterArray("B", n, n, nb, nb)
+	C := rc.RegisterArray("C", n, n, nb, nb)
+	rc.FillArray(A, func(i, j int) float64 { return math.Sin(float64(i*7 + j)) })
+	rc.FillArray(B, func(i, j int) float64 { return math.Cos(float64(i + j*5)) })
+	rc.FillArray(C, func(i, j int) float64 { return 0 })
+	return nil
 }
 
-func buildFFT(cfg Config) *Runner {
-	iterate := func(s *resize.Session) error {
-		img, ok := s.Array("img")
-		if !ok {
-			return fmt.Errorf("apps: fft: array img missing")
-		}
-		l := img.LayoutFor(s.Topo())
-		// One image transformation: forward then inverse 2-D FFT.
-		if err := FFT2D(s.Ctx(), l, img.Data, false); err != nil {
-			return err
-		}
-		return FFT2D(s.Ctx(), l, img.Data, true)
+func (a mmApp) Iterate(rc *reshape.Context) error {
+	A, _ := rc.Array("A")
+	B, _ := rc.Array("B")
+	C, _ := rc.Array("C")
+	if A == nil || B == nil || C == nil {
+		return fmt.Errorf("apps: mm: arrays missing")
 	}
-	return &Runner{
-		Setup: func(s *resize.Session) error {
-			img := &resize.Array{Name: "img", M: cfg.N, N: 2 * cfg.N, MB: cfg.NB, NB: 2 * cfg.N}
-			s.RegisterArray(img)
-			fillArray(s, img, func(i, j int) float64 {
-				if j%2 == 1 {
-					return 0 // imaginary part
-				}
-				return math.Sin(float64(i)) * math.Cos(float64(j/2))
-			})
-			return nil
-		},
-		Worker: loopWorker(cfg.Iterations, iterate),
-	}
+	return DistMatMul(rc.Grid(), A.LayoutFor(rc.Topo()), A.Data, B.Data, C.Data)
 }
 
-func buildMW(cfg Config) *Runner {
-	units := cfg.MWUnits
-	if units <= 0 {
-		units = 1000
+// jacobiApp runs cfg.Sweeps Jacobi sweeps on a row-distributed system per
+// iteration, with the solution vector replicated on every rank.
+type jacobiApp struct{ cfg Config }
+
+func (a jacobiApp) Init(rc *reshape.Context) error {
+	n, nb := a.cfg.N, a.cfg.NB
+	A := rc.RegisterArray("A", n, n, nb, n)
+	bv := rc.RegisterArray("b", n, 1, nb, 1)
+	rc.FillArray(A, func(i, j int) float64 {
+		if i == j {
+			return float64(n)
+		}
+		return 1.0 / (1.0 + float64((i+j)%7))
+	})
+	rc.FillArray(bv, func(i, j int) float64 { return 1 + float64(i%5) })
+	rc.RegisterReplicated("x", make([]float64, n))
+	return nil
+}
+
+func (a jacobiApp) Iterate(rc *reshape.Context) error {
+	A, _ := rc.Array("A")
+	bv, _ := rc.Array("b")
+	if A == nil || bv == nil {
+		return fmt.Errorf("apps: jacobi: arrays missing")
 	}
-	chunk := cfg.MWChunk
-	if chunk <= 0 {
-		chunk = 50
+	x := rc.Replicated("x")
+	if x == nil {
+		return fmt.Errorf("apps: jacobi: replicated x missing")
 	}
-	work := cfg.MWUnitWork
-	if work <= 0 {
-		work = 200
+	res, err := JacobiSweeps(rc.Grid(), A.LayoutFor(rc.Topo()), A.Data, bv.Data, x, a.cfg.Sweeps)
+	if err != nil {
+		return err
 	}
-	iterate := func(s *resize.Session) error {
-		MasterWorkerRound(s.Ctx(), units, chunk, work)
-		return nil
+	rc.SetReplicated("residual", []float64{res})
+	return nil
+}
+
+// fftApp forward-and-inverse transforms a distributed complex image per
+// iteration (one "image transformation" of the paper's FFT workload).
+type fftApp struct{ cfg Config }
+
+func (a fftApp) Init(rc *reshape.Context) error {
+	n := a.cfg.N
+	img := rc.RegisterArray("img", n, 2*n, a.cfg.NB, 2*n)
+	rc.FillArray(img, func(i, j int) float64 {
+		if j%2 == 1 {
+			return 0 // imaginary part
+		}
+		return math.Sin(float64(i)) * math.Cos(float64(j/2))
+	})
+	return nil
+}
+
+func (a fftApp) Iterate(rc *reshape.Context) error {
+	img, ok := rc.Array("img")
+	if !ok {
+		return fmt.Errorf("apps: fft: array img missing")
 	}
-	return &Runner{
-		Setup:  func(s *resize.Session) error { return nil },
-		Worker: loopWorker(cfg.Iterations, iterate),
+	l := img.LayoutFor(rc.Topo())
+	if err := FFT2D(rc.Grid(), l, img.Data, false); err != nil {
+		return err
 	}
+	return FFT2D(rc.Grid(), l, img.Data, true)
+}
+
+// mwApp distributes cfg.MWUnits work units from rank 0 to the workers per
+// iteration; it registers no global state, so resizes only change the
+// worker pool.
+type mwApp struct{ cfg Config }
+
+func (a mwApp) Init(rc *reshape.Context) error { return nil }
+
+func (a mwApp) Iterate(rc *reshape.Context) error {
+	MasterWorkerRound(rc.Grid(), a.cfg.MWUnits, a.cfg.MWChunk, a.cfg.MWUnitWork)
+	return nil
+}
+
+// cgApp runs cfg.Sweeps conjugate-gradient steps per iteration on a 2-D
+// distributed SPD matrix with replicated b and x. It extends the paper's
+// workload set with a Krylov solver, per the future-work direction of
+// supporting a wider array of distributed data structures.
+type cgApp struct{ cfg Config }
+
+func (a cgApp) Init(rc *reshape.Context) error {
+	n, nb := a.cfg.N, a.cfg.NB
+	A := rc.RegisterArray("A", n, n, nb, nb)
+	// SPD: symmetric off-diagonal decay with dominant diagonal.
+	rc.FillArray(A, luEntry(n))
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1 + float64(i%3)
+	}
+	rc.RegisterReplicated("b", b)
+	rc.RegisterReplicated("x", make([]float64, n))
+	return nil
+}
+
+func (a cgApp) Iterate(rc *reshape.Context) error {
+	A, ok := rc.Array("A")
+	if !ok {
+		return fmt.Errorf("apps: cg: array A missing")
+	}
+	b := rc.Replicated("b")
+	x := rc.Replicated("x")
+	if b == nil || x == nil {
+		return fmt.Errorf("apps: cg: replicated vectors missing")
+	}
+	res, err := DistCG(rc.Grid(), A.LayoutFor(rc.Topo()), A.Data, b, x, a.cfg.Sweeps)
+	if err != nil {
+		return err
+	}
+	rc.SetReplicated("residual", []float64{res})
+	return nil
 }

@@ -2,93 +2,51 @@ package apps
 
 import (
 	"context"
-	"sync"
 	"testing"
 
 	"repro/internal/grid"
-	"repro/internal/mpi"
 	"repro/internal/resize"
 	"repro/internal/scheduler"
+	"repro/pkg/reshape"
 )
 
-// lockedScript wraps a ScriptedClient for concurrent rank access.
-type lockedScript struct {
-	mu sync.Mutex
-	c  resize.ScriptedClient
-}
-
-func (m *lockedScript) Contact(ctx context.Context, jobID int, t grid.Topology, iterTime, redistTime float64) (scheduler.Decision, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.c.Contact(ctx, jobID, t, iterTime, redistTime)
-}
-func (m *lockedScript) ResizeComplete(ctx context.Context, jobID int, redistTime float64) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.c.ResizeComplete(ctx, jobID, redistTime)
-}
-func (m *lockedScript) JobEnd(ctx context.Context, jobID int) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.c.JobEnd(ctx, jobID)
-}
-
-// runAppThroughResizes executes a full app Runner starting on `start`,
+// runAppThroughResizes executes a full application under reshape.Run,
 // forcing an expansion after iteration 1 and a shrink back after iteration
-// 3, and returns the final replicated state captured on rank 0 (may be nil
-// for apps without replicated state).
+// 3, and returns the final replicated state captured on rank 0 (empty for
+// apps without replicated state).
 func runAppThroughResizes(t *testing.T, cfg Config, start, bigger grid.Topology) map[string][]float64 {
 	t.Helper()
-	runner, err := Build(cfg)
+	app, err := Build(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	client := &lockedScript{c: resize.ScriptedClient{Script: []scheduler.Decision{
+	client := &resize.ScriptedClient{Script: []scheduler.Decision{
 		{Action: scheduler.ActionExpand, Target: bigger},
 		{Action: scheduler.ActionNone},
 		{Action: scheduler.ActionShrink, Target: start},
-	}}}
+	}}
 
-	var mu sync.Mutex
-	final := map[string][]float64{}
-	// Wrap the worker so rank 0 snapshots replicated state at the end.
-	var wrapped resize.Worker
-	wrapped = func(s *resize.Session) error {
-		err := runner.Worker(s)
-		if err == nil && s.Comm().Rank() == 0 {
-			mu.Lock()
-			for _, name := range []string{"x", "residual", "b"} {
-				if v := s.Replicated(name); v != nil {
-					cp := make([]float64, len(v))
-					copy(cp, v)
-					final[name] = cp
-				}
-			}
-			mu.Unlock()
-		}
-		return err
-	}
-
-	err = mpi.Run(start.Count(), func(c *mpi.Comm) error {
-		sess, err := resize.NewSession(client, 1, c, start, wrapped)
-		if err != nil {
-			return err
-		}
-		if err := runner.Setup(sess); err != nil {
-			return err
-		}
-		return wrapped(sess)
-	})
+	rep, err := reshape.Run(context.Background(), app,
+		reshape.WithScheduler(client),
+		reshape.WithJobID(1),
+		reshape.WithTopology(start),
+		reshape.WithMaxIterations(cfg.Iterations))
 	if err != nil {
 		t.Fatalf("app %s through resizes: %v", cfg.App, err)
 	}
-	if !client.c.Ended {
+	if !client.Ended {
 		t.Fatalf("app %s never reported completion", cfg.App)
 	}
-	if len(client.c.Completed) != 2 {
-		t.Fatalf("app %s: %d resizes completed, want 2", cfg.App, len(client.c.Completed))
+	if len(client.Completed) != 2 {
+		t.Fatalf("app %s: %d resizes completed, want 2", cfg.App, len(client.Completed))
 	}
-	return final
+	if rep.Iterations != cfg.Iterations {
+		t.Fatalf("app %s: %d iterations recorded, want %d", cfg.App, rep.Iterations, cfg.Iterations)
+	}
+	if rep.FinalTopo != start {
+		t.Fatalf("app %s: finished on %v, want %v", cfg.App, rep.FinalTopo, start)
+	}
+	return rep.Replicated
 }
 
 func TestLURunnerSurvivesResizes(t *testing.T) {
@@ -149,35 +107,17 @@ func TestJacobiSolutionMatchesAcrossTopologies(t *testing.T) {
 	// The same problem solved statically on 2 and on 4 processors must give
 	// identical replicated solutions (determinism of the distributed sweep).
 	get := func(p int) []float64 {
-		runner, err := Build(Config{App: "jacobi", N: 12, NB: 2, Iterations: 3, Sweeps: 15})
+		app, err := Build(Config{App: "jacobi", N: 12, NB: 2, Iterations: 3, Sweeps: 15})
 		if err != nil {
 			t.Fatal(err)
 		}
-		var mu sync.Mutex
-		var out []float64
-		topo := grid.Row1D(p)
-		err = mpi.Run(p, func(c *mpi.Comm) error {
-			sess, err := resize.NewSession(resize.NullClient{}, 1, c, topo, runner.Worker)
-			if err != nil {
-				return err
-			}
-			if err := runner.Setup(sess); err != nil {
-				return err
-			}
-			if err := runner.Worker(sess); err != nil {
-				return err
-			}
-			if c.Rank() == 0 {
-				mu.Lock()
-				out = append([]float64{}, sess.Replicated("x")...)
-				mu.Unlock()
-			}
-			return nil
-		})
+		rep, err := reshape.Run(context.Background(), app,
+			reshape.WithTopology(grid.Row1D(p)),
+			reshape.WithMaxIterations(3))
 		if err != nil {
 			t.Fatal(err)
 		}
-		return out
+		return rep.Replicated["x"]
 	}
 	x2 := get(2)
 	x4 := get(4)

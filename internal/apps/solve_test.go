@@ -199,11 +199,11 @@ func TestDistCGValidates(t *testing.T) {
 }
 
 func TestBuildCGRunner(t *testing.T) {
-	r, err := Build(Config{App: "cg", N: 8, NB: 2, Iterations: 1})
+	a, err := Build(Config{App: "cg", N: 8, NB: 2, Iterations: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r.Setup == nil || r.Worker == nil {
-		t.Fatal("incomplete runner")
+	if a == nil {
+		t.Fatal("nil app")
 	}
 }

@@ -1,11 +1,3 @@
-// Package reshape is the typed client for the scheduler's rpc/v2 wire
-// protocol: persistent multiplexed connections, pipelined concurrent
-// requests, context deadlines/cancellation on every call, and a streaming
-// Watch subscription with automatic reconnect-and-resubscribe.
-//
-// The Client implements resize.Scheduler (and therefore resize.Client), so
-// applications, tools and tests swap freely between an in-process
-// scheduler.Server, the v1 reference rpc.Client and this client.
 package reshape
 
 import (

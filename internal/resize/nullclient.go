@@ -2,6 +2,7 @@ package resize
 
 import (
 	"context"
+	"sync"
 
 	"repro/internal/grid"
 	"repro/internal/scheduler"
@@ -27,8 +28,11 @@ func (NullClient) JobEnd(ctx context.Context, jobID int) error { return nil }
 
 // ScriptedClient replays a fixed sequence of decisions, one per contact, for
 // deterministic resize tests. After the script is exhausted it answers "no
-// change".
+// change". Calls are internally synchronized (expansion moves rank 0's
+// goroutine across communicators), so one client may serve a whole run;
+// read the recorded fields only after the run finishes.
 type ScriptedClient struct {
+	mu        sync.Mutex
 	Script    []scheduler.Decision
 	Contacts  int
 	Completed []float64 // redistribution times reported via ResizeComplete
@@ -37,6 +41,8 @@ type ScriptedClient struct {
 
 // Contact pops the next scripted decision.
 func (c *ScriptedClient) Contact(ctx context.Context, jobID int, topo grid.Topology, iterTime, redistTime float64) (scheduler.Decision, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	i := c.Contacts
 	c.Contacts++
 	if i < len(c.Script) {
@@ -47,12 +53,16 @@ func (c *ScriptedClient) Contact(ctx context.Context, jobID int, topo grid.Topol
 
 // ResizeComplete records the reported cost.
 func (c *ScriptedClient) ResizeComplete(ctx context.Context, jobID int, redistTime float64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.Completed = append(c.Completed, redistTime)
 	return nil
 }
 
 // JobEnd records completion.
 func (c *ScriptedClient) JobEnd(ctx context.Context, jobID int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.Ended = true
 	return nil
 }

@@ -1,37 +1,9 @@
-// Package resize implements ReSHAPE's resizing library and API (§3.2 of the
-// paper): the machinery that lets a running application change the size of
-// its processor set at resize points without being suspended.
-//
-// At a resize point the application calls Session.Resize with its latest
-// iteration time (the paper's "simple functional API"). The library then:
-//
-//  1. contacts the scheduler with the performance report
-//     (contact_scheduler),
-//  2. on an expand decision, spawns new ranks (MPI_Comm_spawn_multiple),
-//     merges the intercommunicator into a grown intracommunicator, creates
-//     a fresh grid context, and redistributes every registered global array
-//     onto the new processor grid,
-//  3. on a shrink decision, redistributes the arrays onto the surviving
-//     prefix of ranks, carves a sub-communicator for them, rebuilds the
-//     grid context, and retires the excess ranks,
-//  4. reports the measured redistribution cost back to the scheduler so the
-//     Performance Profiler can weigh future resizing decisions.
-//
-// All registered arrays move in one fused redistribution (one message per
-// communicating processor pair per schedule step, every array's blocks on
-// board — redistrib.MultiPlan), and the plans are cached per (from, to)
-// topology pair, so repeated oscillation between the same grids pays the
-// schedule-table construction once. Measured costs are additionally kept as
-// perfmodel.RedistObservation records (see RedistObservations) to calibrate
-// the analytic redistribution model against real executions.
-//
-// The advanced API (ContactScheduler, ExpandProcessors, ShrinkProcessors,
-// RedistributeAll) exposes the individual stages of Figure 1(b).
 package resize
 
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/blacs"
@@ -197,6 +169,13 @@ func (s *Session) JobID() int { return s.jobID }
 // Iter returns the number of completed iterations.
 func (s *Session) Iter() int { return s.iter }
 
+// Advance records the completion of one iteration without contacting the
+// scheduler. Resize does this implicitly; Advance is for callers that
+// place resize points only every n-th iteration (the SDK's
+// WithResizeEvery) and still need the iteration counter — which spawned
+// ranks inherit at bootstrap — to move.
+func (s *Session) Advance() { s.iter++ }
+
 // LastRedist returns the redistribution cost of the most recent resize, in
 // seconds (0 if the last resize point made no change).
 func (s *Session) LastRedist() float64 { return s.lastRedist }
@@ -224,14 +203,29 @@ func (s *Session) Array(name string) (*Array, bool) {
 }
 
 // SetReplicated registers rank-replicated state (e.g. a solution vector)
-// that newly spawned ranks must receive. The slice contents as seen by rank
-// 0 at expansion time are copied to the children.
+// that every rank must hold. Rank 0's view is authoritative at resize
+// time: an expansion re-broadcasts rank 0's copies to all ranks — newly
+// spawned and pre-existing alike — and a shrink re-broadcasts them to the
+// survivors, so replicated state cannot diverge across a topology change.
+// Fetch buffers with Replicated after a resize point rather than caching
+// slices across it.
 func (s *Session) SetReplicated(name string, data []float64) {
 	s.replicated[name] = data
 }
 
 // Replicated returns replicated state by name.
 func (s *Session) Replicated(name string) []float64 { return s.replicated[name] }
+
+// ReplicatedNames returns the names of all replicated buffers in sorted
+// order.
+func (s *Session) ReplicatedNames() []string {
+	names := make([]string, 0, len(s.replicated))
+	for name := range s.replicated {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
 
 // Log implements the simple API's log(iteration time): it averages the
 // per-rank iteration time across the grid and records it on rank 0.
@@ -297,8 +291,16 @@ func (s *Session) ContactScheduler(iterTime, redistTime float64) (scheduler.Deci
 // shrinking and redistributing as needed). It returns Retired on ranks that
 // were shrunk away; those must return from their worker immediately.
 func (s *Session) Resize(iterTime float64) (Status, error) {
-	s.iter++
 	avg := s.comm.AllreduceSum(iterTime) / float64(s.comm.Size())
+	return s.ResizeAveraged(avg)
+}
+
+// ResizeAveraged is Resize for callers that already hold the grid-averaged
+// iteration time — typically Log's return value — saving the redundant
+// collective re-reduction Resize would perform. Collective: every rank
+// must pass the same average.
+func (s *Session) ResizeAveraged(avg float64) (Status, error) {
+	s.iter++
 	d, err := s.ContactScheduler(avg, s.lastRedist)
 	if err != nil {
 		return Continue, err
@@ -315,6 +317,17 @@ func (s *Session) Resize(iterTime float64) (Status, error) {
 		s.lastRedist = 0
 		return Continue, nil
 	}
+}
+
+// copyReplicated deep-copies a replicated-buffer map.
+func copyReplicated(src map[string][]float64) map[string][]float64 {
+	dst := make(map[string][]float64, len(src))
+	for name, data := range src {
+		cp := make([]float64, len(data))
+		copy(cp, data)
+		dst[name] = cp
+	}
+	return dst
 }
 
 // childBootstrap carries everything a spawned rank needs to join the
@@ -348,15 +361,10 @@ func (s *Session) ExpandProcessors(target grid.Topology) error {
 			oldTopo:    s.topo,
 			newTopo:    target,
 			arrayMeta:  make([]Array, len(s.arrays)),
-			replicated: make(map[string][]float64, len(s.replicated)),
+			replicated: copyReplicated(s.replicated),
 		}
 		for i, a := range s.arrays {
 			boot.arrayMeta[i] = Array{Name: a.Name, M: a.M, N: a.N, MB: a.MB, NB: a.NB}
-		}
-		for name, data := range s.replicated {
-			cp := make([]float64, len(data))
-			copy(cp, data)
-			boot.replicated[name] = cp
 		}
 	}
 	client, worker, callTimeout := s.client, s.worker, s.CallTimeout
@@ -373,12 +381,7 @@ func (s *Session) ExpandProcessors(target grid.Topology) error {
 			comm:        merged,
 			topo:        b.newTopo,
 			iter:        b.iter,
-			replicated:  make(map[string][]float64, len(b.replicated)),
-		}
-		for name, data := range b.replicated {
-			cp := make([]float64, len(data))
-			copy(cp, data)
-			cs.replicated[name] = cp
+			replicated:  copyReplicated(b.replicated),
 		}
 		for i := range b.arrayMeta {
 			m := b.arrayMeta[i]
@@ -398,7 +401,13 @@ func (s *Session) ExpandProcessors(target grid.Topology) error {
 
 	merged := ic.Merge()
 	// Rank 0 of the old comm is rank 0 of the merged comm: publish bootstrap.
-	merged.Bcast(0, boot)
+	// Pre-existing non-root ranks adopt its replicated buffers too, so the
+	// whole grown processor set leaves the expansion with identical
+	// replicated state (children copy theirs out of the same broadcast).
+	published := merged.Bcast(0, boot).(childBootstrap)
+	if merged.Rank() != 0 {
+		s.replicated = copyReplicated(published.replicated)
+	}
 	if err := s.redistribute(merged, s.topo, target); err != nil {
 		return err
 	}
@@ -430,6 +439,13 @@ func (s *Session) ShrinkProcessors(target grid.Topology) (Status, error) {
 		return Continue, fmt.Errorf("resize: shrink target %v not smaller than current %v", target, s.topo)
 	}
 	start := time.Now()
+	// Rank 0's replicated buffers are authoritative at resize time:
+	// survivors adopt its view, mirroring the expansion-side re-broadcast
+	// through the child bootstrap.
+	published := s.comm.Bcast(0, s.replicated).(map[string][]float64)
+	if s.comm.Rank() != 0 {
+		s.replicated = copyReplicated(published)
+	}
 	if err := s.redistribute(s.comm, s.topo, target); err != nil {
 		return Continue, err
 	}

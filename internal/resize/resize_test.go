@@ -1,7 +1,6 @@
 package resize
 
 import (
-	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -50,33 +49,10 @@ func verifyByGlobal(s *Session, a *Array) error {
 	return nil
 }
 
-// mutexClient makes ScriptedClient safe for the multi-goroutine Session
-// (only rank 0 calls, but expansion moves rank 0 across communicators).
-type mutexClient struct {
-	mu sync.Mutex
-	c  ScriptedClient
-}
-
-func (m *mutexClient) Contact(ctx context.Context, jobID int, t grid.Topology, iterTime, redistTime float64) (scheduler.Decision, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.c.Contact(ctx, jobID, t, iterTime, redistTime)
-}
-func (m *mutexClient) ResizeComplete(ctx context.Context, jobID int, redistTime float64) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.c.ResizeComplete(ctx, jobID, redistTime)
-}
-func (m *mutexClient) JobEnd(ctx context.Context, jobID int) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.c.JobEnd(ctx, jobID)
-}
-
 func TestSessionExpandSpawnsAndRedistributes(t *testing.T) {
-	client := &mutexClient{c: ScriptedClient{Script: []scheduler.Decision{
+	client := &ScriptedClient{Script: []scheduler.Decision{
 		{Action: scheduler.ActionExpand, Target: topo(2, 2)},
-	}}}
+	}}
 	const totalIters = 3
 	var workerRuns sync.Map
 
@@ -118,18 +94,18 @@ func TestSessionExpandSpawnsAndRedistributes(t *testing.T) {
 			t.Errorf("rank %d never iterated on the expanded grid", rank)
 		}
 	}
-	if !client.c.Ended {
+	if !client.Ended {
 		t.Error("job end never reported")
 	}
-	if len(client.c.Completed) != 1 {
-		t.Errorf("ResizeComplete calls = %d, want 1", len(client.c.Completed))
+	if len(client.Completed) != 1 {
+		t.Errorf("ResizeComplete calls = %d, want 1", len(client.Completed))
 	}
 }
 
 func TestSessionShrinkRetiresRanks(t *testing.T) {
-	client := &mutexClient{c: ScriptedClient{Script: []scheduler.Decision{
+	client := &ScriptedClient{Script: []scheduler.Decision{
 		{Action: scheduler.ActionShrink, Target: topo(1, 2)},
-	}}}
+	}}
 	const totalIters = 3
 	var retired sync.Map
 
@@ -169,7 +145,7 @@ func TestSessionShrinkRetiresRanks(t *testing.T) {
 	if count != 2 {
 		t.Errorf("%d ranks retired, want 2", count)
 	}
-	if !client.c.Ended {
+	if !client.Ended {
 		t.Error("job end never reported")
 	}
 }
@@ -178,12 +154,12 @@ func TestSessionExpandThenShrinkFigure3aPattern(t *testing.T) {
 	// The Figure 3(a) trajectory at miniature scale: grow 2 -> 4 -> 6, then
 	// shrink back to 4 after a failed expansion, holding data intact
 	// throughout.
-	client := &mutexClient{c: ScriptedClient{Script: []scheduler.Decision{
+	client := &ScriptedClient{Script: []scheduler.Decision{
 		{Action: scheduler.ActionExpand, Target: topo(2, 2)},
 		{Action: scheduler.ActionExpand, Target: topo(2, 3)},
 		{Action: scheduler.ActionShrink, Target: topo(2, 2)},
 		{Action: scheduler.ActionNone},
-	}}}
+	}}
 	const totalIters = 5
 
 	worker := func(s *Session) error {
@@ -219,15 +195,15 @@ func TestSessionExpandThenShrinkFigure3aPattern(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(client.c.Completed) != 3 {
-		t.Errorf("ResizeComplete calls = %d, want 3", len(client.c.Completed))
+	if len(client.Completed) != 3 {
+		t.Errorf("ResizeComplete calls = %d, want 3", len(client.Completed))
 	}
 }
 
 func TestSessionMultipleArraysAndReplicated(t *testing.T) {
-	client := &mutexClient{c: ScriptedClient{Script: []scheduler.Decision{
+	client := &ScriptedClient{Script: []scheduler.Decision{
 		{Action: scheduler.ActionExpand, Target: topo(2, 2)},
-	}}}
+	}}
 	worker := func(s *Session) error {
 		for s.Iter() < 2 {
 			for _, name := range []string{"A", "B"} {
@@ -269,6 +245,175 @@ func TestSessionMultipleArraysAndReplicated(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestExpandRebroadcastsReplicatedToAllRanks(t *testing.T) {
+	// A replicated buffer set on rank 0 alone must reach every rank of the
+	// grown processor set at expansion — the newly spawned ranks through the
+	// child bootstrap AND the pre-existing non-root ranks, which would
+	// otherwise keep silently divergent replicated state.
+	client := &ScriptedClient{Script: []scheduler.Decision{
+		{Action: scheduler.ActionExpand, Target: topo(2, 2)},
+	}}
+	var divergent sync.Map
+	worker := func(s *Session) error {
+		for s.Iter() < 2 {
+			if s.Iter() >= 1 {
+				// After the expansion every rank must see rank 0's value.
+				got := s.Replicated("tally")
+				if len(got) != 2 || got[0] != 41 || got[1] != 43 {
+					divergent.Store(s.Comm().Rank(), append([]float64{}, got...))
+				}
+			}
+			if s.Iter() == 0 && s.Comm().Rank() == 0 {
+				s.SetReplicated("tally", []float64{41, 43})
+			}
+			st, err := s.Resize(0.01)
+			if err != nil {
+				return err
+			}
+			if st == Retired {
+				return nil
+			}
+		}
+		return s.Done()
+	}
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		s, err := NewSession(client, 13, c, topo(1, 2), worker)
+		if err != nil {
+			return err
+		}
+		a := &Array{Name: "A", M: 8, N: 8, MB: 2, NB: 2}
+		s.RegisterArray(a)
+		fillByGlobal(s, a)
+		return worker(s)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	divergent.Range(func(k, v any) bool {
+		t.Errorf("rank %v has replicated tally %v after expansion, want [41 43]", k, v)
+		return true
+	})
+}
+
+func TestShrinkRebroadcastsReplicatedToSurvivors(t *testing.T) {
+	// A replicated buffer that diverged on a non-root rank must be
+	// overwritten with rank 0's authoritative copy when the processor set
+	// shrinks, mirroring the expansion-side re-broadcast.
+	client := &ScriptedClient{Script: []scheduler.Decision{
+		{Action: scheduler.ActionShrink, Target: topo(1, 2)},
+	}}
+	var divergent sync.Map
+	worker := func(s *Session) error {
+		for s.Iter() < 2 {
+			if s.Iter() >= 1 {
+				got := s.Replicated("tally")
+				if len(got) != 1 || got[0] != 7 {
+					divergent.Store(s.Comm().Rank(), append([]float64{}, got...))
+				}
+			}
+			st, err := s.Resize(0.01)
+			if err != nil {
+				return err
+			}
+			if st == Retired {
+				return nil
+			}
+		}
+		return s.Done()
+	}
+	err := mpi.Run(4, func(c *mpi.Comm) error {
+		s, err := NewSession(client, 16, c, topo(2, 2), worker)
+		if err != nil {
+			return err
+		}
+		a := &Array{Name: "A", M: 8, N: 8, MB: 2, NB: 2}
+		s.RegisterArray(a)
+		fillByGlobal(s, a)
+		// Every rank starts with a divergent value; rank 0's is canonical.
+		s.SetReplicated("tally", []float64{float64(7 + c.Rank()*100)})
+		return worker(s)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	divergent.Range(func(k, v any) bool {
+		t.Errorf("surviving rank %v has replicated tally %v after shrink, want [7]", k, v)
+		return true
+	})
+}
+
+func TestReplicatedUpdatesReachSecondGeneration(t *testing.T) {
+	// Replicated state replaced collectively between two expansions must
+	// reach the second generation of spawned ranks with its latest value.
+	client := &ScriptedClient{Script: []scheduler.Decision{
+		{Action: scheduler.ActionExpand, Target: topo(1, 2)},
+		{Action: scheduler.ActionExpand, Target: topo(2, 2)},
+		{Action: scheduler.ActionNone},
+	}}
+	worker := func(s *Session) error {
+		for s.Iter() < 3 {
+			want := float64(s.Iter()) // value set at end of the previous iteration
+			x := s.Replicated("x")
+			if len(x) != 1 || x[0] != want {
+				return fmt.Errorf("rank %d iter %d on %v: x=%v want [%v]",
+					s.Comm().Rank(), s.Iter(), s.Topo(), x, want)
+			}
+			s.SetReplicated("x", []float64{float64(s.Iter() + 1)})
+			st, err := s.Resize(0.01)
+			if err != nil {
+				return err
+			}
+			if st == Retired {
+				return nil
+			}
+		}
+		return s.Done()
+	}
+	err := mpi.Run(1, func(c *mpi.Comm) error {
+		s, err := NewSession(client, 14, c, topo(1, 1), worker)
+		if err != nil {
+			return err
+		}
+		a := &Array{Name: "A", M: 8, N: 8, MB: 2, NB: 2}
+		s.RegisterArray(a)
+		fillByGlobal(s, a)
+		s.SetReplicated("x", []float64{0})
+		return worker(s)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdvanceCountsIterationsWithoutContact(t *testing.T) {
+	client := &ScriptedClient{}
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		s, err := NewSession(client, 15, c, topo(1, 2), nil)
+		if err != nil {
+			return err
+		}
+		s.Advance()
+		s.Advance()
+		if s.Iter() != 2 {
+			return fmt.Errorf("iter %d after two Advance calls", s.Iter())
+		}
+		if _, err := s.Resize(0.01); err != nil {
+			return err
+		}
+		if s.Iter() != 3 {
+			return fmt.Errorf("iter %d after Advance+Resize", s.Iter())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both ranks call Resize once; only rank 0 contacts the scheduler.
+	if client.Contacts != 1 {
+		t.Errorf("scheduler contacted %d times, want 1 (Advance must not contact)", client.Contacts)
 	}
 }
 
@@ -343,11 +488,11 @@ func TestExpandValidatesTarget(t *testing.T) {
 
 func TestRepeatedExpansionGrowsChain(t *testing.T) {
 	// 1 -> 2 -> 4 -> 6 ranks across three expansions, data verified at each.
-	client := &mutexClient{c: ScriptedClient{Script: []scheduler.Decision{
+	client := &ScriptedClient{Script: []scheduler.Decision{
 		{Action: scheduler.ActionExpand, Target: topo(1, 2)},
 		{Action: scheduler.ActionExpand, Target: topo(2, 2)},
 		{Action: scheduler.ActionExpand, Target: topo(2, 3)},
-	}}}
+	}}
 	const totalIters = 5
 	worker := func(s *Session) error {
 		for s.Iter() < totalIters {
@@ -498,9 +643,9 @@ func TestRedistObservationsRecorded(t *testing.T) {
 }
 
 func TestExpandRecordsObservation(t *testing.T) {
-	client := &mutexClient{c: ScriptedClient{Script: []scheduler.Decision{
+	client := &ScriptedClient{Script: []scheduler.Decision{
 		{Action: scheduler.ActionExpand, Target: topo(2, 2)},
-	}}}
+	}}
 	obsCh := make(chan int, 4)
 	worker := func(s *Session) error {
 		for s.Iter() < 2 {

@@ -1,0 +1,424 @@
+package reshape_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/resize"
+	"repro/internal/scheduler"
+	"repro/pkg/reshape"
+)
+
+func topo(r, c int) grid.Topology { return grid.Topology{Rows: r, Cols: c} }
+
+// countingApp counts lifecycle calls across all ranks.
+type countingApp struct {
+	inits       atomic.Int64
+	iterates    atomic.Int64
+	checkpoints atomic.Int64
+	resizes     atomic.Int64
+	joins       atomic.Int64
+}
+
+func (a *countingApp) Init(rc *reshape.Context) error {
+	a.inits.Add(1)
+	arr := rc.RegisterArray("A", 8, 8, 2, 2)
+	rc.FillArray(arr, func(i, j int) float64 { return float64(i*8 + j) })
+	return nil
+}
+
+func (a *countingApp) Iterate(rc *reshape.Context) error {
+	a.iterates.Add(1)
+	return nil
+}
+
+func (a *countingApp) Checkpoint(rc *reshape.Context) error {
+	a.checkpoints.Add(1)
+	return nil
+}
+
+func (a *countingApp) OnResize(rc *reshape.Context, ev reshape.ResizeEvent) error {
+	if ev.Kind == reshape.Joined {
+		a.joins.Add(1)
+	} else {
+		a.resizes.Add(1)
+	}
+	return nil
+}
+
+func TestRunIterationAccounting(t *testing.T) {
+	// The loopWorker-equivalent accounting: n iterations on p ranks means
+	// exactly n*p Iterate calls, n log records with increasing iteration
+	// numbers, and one scheduler contact per iteration.
+	app := &countingApp{}
+	client := &resize.ScriptedClient{}
+	const iters = 5
+	rep, err := reshape.Run(context.Background(), app,
+		reshape.WithScheduler(client),
+		reshape.WithTopology(topo(1, 2)),
+		reshape.WithMaxIterations(iters))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := app.inits.Load(); got != 2 {
+		t.Errorf("Init ran %d times, want 2 (once per initial rank)", got)
+	}
+	if got := app.iterates.Load(); got != iters*2 {
+		t.Errorf("Iterate ran %d times, want %d", got, iters*2)
+	}
+	if rep.Iterations != iters {
+		t.Errorf("report iterations %d, want %d", rep.Iterations, iters)
+	}
+	if len(rep.Records) != iters {
+		t.Fatalf("%d records, want %d", len(rep.Records), iters)
+	}
+	for i, rec := range rep.Records {
+		if rec.Iter != i {
+			t.Errorf("record %d has iteration %d", i, rec.Iter)
+		}
+		if rec.Topo != topo(1, 2) {
+			t.Errorf("record %d on %v", i, rec.Topo)
+		}
+	}
+	if client.Contacts != iters {
+		t.Errorf("%d scheduler contacts, want %d", client.Contacts, iters)
+	}
+	if !client.Ended {
+		t.Error("completion never reported")
+	}
+	// Checkpoint fires at every resize point (resizeEvery=1 -> n times per rank).
+	if got := app.checkpoints.Load(); got != iters*2 {
+		t.Errorf("Checkpoint ran %d times, want %d", got, iters*2)
+	}
+}
+
+func TestRunResizeEverySpacing(t *testing.T) {
+	// With WithResizeEvery(2) only every 2nd iteration contacts the
+	// scheduler; intermediate iterations still count and log.
+	app := &countingApp{}
+	client := &resize.ScriptedClient{}
+	rep, err := reshape.Run(context.Background(), app,
+		reshape.WithScheduler(client),
+		reshape.WithTopology(topo(1, 2)),
+		reshape.WithMaxIterations(6),
+		reshape.WithResizeEvery(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if client.Contacts != 3 {
+		t.Errorf("%d contacts with resizeEvery=2 over 6 iterations, want 3", client.Contacts)
+	}
+	if rep.Iterations != 6 || len(rep.Records) != 6 {
+		t.Errorf("iterations %d, records %d, want 6/6", rep.Iterations, len(rep.Records))
+	}
+	if got := app.checkpoints.Load(); got != 3*2 {
+		t.Errorf("Checkpoint ran %d times, want 6 (3 resize points x 2 ranks)", got)
+	}
+}
+
+func TestRunFlushesTailIterations(t *testing.T) {
+	// When MaxIterations is not a multiple of ResizeEvery, the iterations
+	// after the last resize point must still be flushed (Checkpoint/Pack)
+	// before the run completes, so Report snapshots the final state.
+	app := &countingApp{}
+	client := &resize.ScriptedClient{}
+	_, err := reshape.Run(context.Background(), app,
+		reshape.WithScheduler(client),
+		reshape.WithTopology(topo(1, 2)),
+		reshape.WithMaxIterations(5),
+		reshape.WithResizeEvery(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if client.Contacts != 2 {
+		t.Errorf("%d contacts, want 2 (iterations 2 and 4)", client.Contacts)
+	}
+	// 2 resize points + 1 final flush, per rank.
+	if got := app.checkpoints.Load(); got != 3*2 {
+		t.Errorf("Checkpoint ran %d times, want 6 (2 resize points + tail flush, x 2 ranks)", got)
+	}
+}
+
+func TestRunHooksThroughResize(t *testing.T) {
+	// An expansion must notify OnResize on every pre-existing rank and give
+	// spawned ranks their Joined notification; a shrink notifies survivors.
+	app := &countingApp{}
+	client := &resize.ScriptedClient{Script: []scheduler.Decision{
+		{Action: scheduler.ActionExpand, Target: topo(2, 2)},
+		{Action: scheduler.ActionNone},
+		{Action: scheduler.ActionShrink, Target: topo(1, 2)},
+	}}
+	rep, err := reshape.Run(context.Background(), app,
+		reshape.WithScheduler(client),
+		reshape.WithTopology(topo(1, 2)),
+		reshape.WithMaxIterations(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := app.joins.Load(); got != 2 {
+		t.Errorf("%d Joined notifications, want 2 (spawned ranks)", got)
+	}
+	// Expansion: 2 old ranks notified. Shrink to 1x2: 2 survivors notified.
+	if got := app.resizes.Load(); got != 4 {
+		t.Errorf("%d OnResize notifications, want 4 (2 expand + 2 shrink)", got)
+	}
+	if rep.Resizes != 2 {
+		t.Errorf("report counted %d resizes, want 2", rep.Resizes)
+	}
+	if rep.FinalTopo != topo(1, 2) {
+		t.Errorf("final topo %v", rep.FinalTopo)
+	}
+}
+
+func TestRunLifecycleEvents(t *testing.T) {
+	app := &countingApp{}
+	client := &resize.ScriptedClient{Script: []scheduler.Decision{
+		{Action: scheduler.ActionExpand, Target: topo(2, 2)},
+	}}
+	var mu sync.Mutex
+	var events []reshape.Event
+	_, err := reshape.Run(context.Background(), app,
+		reshape.WithScheduler(client),
+		reshape.WithTopology(topo(1, 2)),
+		reshape.WithMaxIterations(3),
+		reshape.WithLogger(func(ev reshape.Event) {
+			mu.Lock()
+			events = append(events, ev)
+			mu.Unlock()
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[reshape.EventKind]int{}
+	for _, ev := range events {
+		counts[ev.Kind]++
+	}
+	if counts[reshape.EventInit] != 1 {
+		t.Errorf("init events: %d, want 1", counts[reshape.EventInit])
+	}
+	if counts[reshape.EventIterate] != 3 {
+		t.Errorf("iterate events: %d, want 3", counts[reshape.EventIterate])
+	}
+	if counts[reshape.EventResize] != 1 {
+		t.Errorf("resize events: %d, want 1", counts[reshape.EventResize])
+	}
+	if counts[reshape.EventDone] != 1 {
+		t.Errorf("done events: %d, want 1", counts[reshape.EventDone])
+	}
+	// The resize event carries the grid pair.
+	for _, ev := range events {
+		if ev.Kind == reshape.EventResize {
+			if ev.From != topo(1, 2) || ev.Topo != topo(2, 2) {
+				t.Errorf("resize event %v -> %v, want 1x2 -> 2x2", ev.From, ev.Topo)
+			}
+		}
+	}
+	if reshape.EventResize.String() != "resize" || reshape.Joined.String() != "joined" {
+		t.Error("event kind names wrong")
+	}
+}
+
+// windowState is custom Redistributable state: a live scalar ("window
+// average") whose backing store is a replicated buffer. Pack flushes the
+// live value before resize points; Unpack rebuilds it after topology
+// changes and on joined ranks.
+type windowState struct {
+	mu        sync.Mutex
+	live      map[*reshape.Context]float64 // per-rank live value (keyed by rank context)
+	packs     atomic.Int64
+	unpacks   atomic.Int64
+	registers atomic.Int64
+}
+
+func newWindowState() *windowState {
+	return &windowState{live: map[*reshape.Context]float64{}}
+}
+
+func (w *windowState) Register(rc *reshape.Context) error {
+	w.registers.Add(1)
+	rc.RegisterReplicated("window", []float64{1})
+	w.set(rc, 1)
+	return nil
+}
+
+func (w *windowState) Pack(rc *reshape.Context) error {
+	w.packs.Add(1)
+	rc.SetReplicated("window", []float64{w.get(rc)})
+	return nil
+}
+
+func (w *windowState) Unpack(rc *reshape.Context) error {
+	w.unpacks.Add(1)
+	v := rc.Replicated("window")
+	if len(v) != 1 {
+		return fmt.Errorf("window backing store missing")
+	}
+	w.set(rc, v[0])
+	return nil
+}
+
+func (w *windowState) set(rc *reshape.Context, v float64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.live[rc] = v
+}
+
+func (w *windowState) get(rc *reshape.Context) float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.live[rc]
+}
+
+// windowApp doubles the live value every iteration.
+type windowApp struct{ st *windowState }
+
+func (a windowApp) Init(rc *reshape.Context) error {
+	arr := rc.RegisterArray("A", 8, 8, 2, 2)
+	rc.FillArray(arr, func(i, j int) float64 { return 1 })
+	return nil
+}
+
+func (a windowApp) Iterate(rc *reshape.Context) error {
+	a.st.set(rc, a.st.get(rc)*2)
+	return nil
+}
+
+func TestRunRedistributableState(t *testing.T) {
+	st := newWindowState()
+	client := &resize.ScriptedClient{Script: []scheduler.Decision{
+		{Action: scheduler.ActionExpand, Target: topo(2, 2)},
+	}}
+	rep, err := reshape.Run(context.Background(), windowApp{st: st},
+		reshape.WithScheduler(client),
+		reshape.WithTopology(topo(1, 2)),
+		reshape.WithMaxIterations(3),
+		reshape.WithState(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.registers.Load(); got != 2 {
+		t.Errorf("Register ran %d times, want 2 (initial ranks)", got)
+	}
+	// Joined ranks and post-expansion survivors all unpack.
+	if st.unpacks.Load() == 0 {
+		t.Error("Unpack never ran")
+	}
+	if st.packs.Load() == 0 {
+		t.Error("Pack never ran")
+	}
+	// The live value doubled once before the expansion (packed as 2) and
+	// twice after on every rank; the final replicated window is rank 0's
+	// packed value from the last resize point: 1*2*2*2 = 8.
+	if v := rep.Replicated["window"]; len(v) != 1 || v[0] != 8 {
+		t.Errorf("final window %v, want [8]", v)
+	}
+}
+
+// sliceState is a value-type Redistributable holding a slice: it is not
+// comparable, so it exercises the positional deduplication of the runner's
+// shared state registry (interface values like this would panic as map
+// keys).
+type sliceState struct{ seed []float64 }
+
+func (s sliceState) Register(rc *reshape.Context) error {
+	rc.RegisterReplicated("seed", append([]float64(nil), s.seed...))
+	return nil
+}
+func (s sliceState) Pack(rc *reshape.Context) error   { return nil }
+func (s sliceState) Unpack(rc *reshape.Context) error { return nil }
+
+func TestRunNonComparableRedistributable(t *testing.T) {
+	client := &resize.ScriptedClient{Script: []scheduler.Decision{
+		{Action: scheduler.ActionExpand, Target: topo(2, 2)},
+	}}
+	rep, err := reshape.Run(context.Background(), &countingApp{},
+		reshape.WithScheduler(client),
+		reshape.WithTopology(topo(1, 2)),
+		reshape.WithMaxIterations(3),
+		reshape.WithState(sliceState{seed: []float64{3}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := rep.Replicated["seed"]; len(v) != 1 || v[0] != 3 {
+		t.Errorf("seed state %v, want [3]", v)
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	app := &countingApp{}
+	var once sync.Once
+	_, err := reshape.Run(ctx, app,
+		reshape.WithTopology(topo(1, 2)),
+		reshape.WithMaxIterations(1000),
+		reshape.WithLogger(func(ev reshape.Event) {
+			if ev.Kind == reshape.EventIterate && ev.Iter >= 2 {
+				once.Do(cancel)
+			}
+		}))
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	if got := app.iterates.Load(); got >= 2000 {
+		t.Errorf("run did not stop early: %d iterates", got)
+	}
+}
+
+func TestRunValidatesOptions(t *testing.T) {
+	app := &countingApp{}
+	if _, err := reshape.Run(context.Background(), nil); err == nil {
+		t.Error("nil app accepted")
+	}
+	if _, err := reshape.Run(context.Background(), app, reshape.WithMaxIterations(0)); err == nil {
+		t.Error("zero iterations accepted")
+	}
+	if _, err := reshape.Run(context.Background(), app, reshape.WithResizeEvery(0)); err == nil {
+		t.Error("zero resize spacing accepted")
+	}
+	if _, err := reshape.Run(context.Background(), app, reshape.WithTopology(grid.Topology{})); err == nil {
+		t.Error("empty topology accepted")
+	}
+}
+
+func TestRunCountsResizesWithoutArrays(t *testing.T) {
+	// An app registering no arrays (like the master-worker workload) still
+	// resizes: topology changes must be counted from the loop, not derived
+	// from redistribution observations (empty here).
+	client := &resize.ScriptedClient{Script: []scheduler.Decision{
+		{Action: scheduler.ActionExpand, Target: topo(2, 2)},
+		{Action: scheduler.ActionShrink, Target: topo(1, 2)},
+	}}
+	rep, err := reshape.Run(context.Background(), noopApp{},
+		reshape.WithScheduler(client),
+		reshape.WithTopology(topo(1, 2)),
+		reshape.WithMaxIterations(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Resizes != 2 {
+		t.Errorf("report counted %d resizes, want 2 (no arrays registered)", rep.Resizes)
+	}
+	if len(client.Completed) != 2 {
+		t.Errorf("%d completed resizes at the scheduler, want 2", len(client.Completed))
+	}
+	if rep.FinalTopo != topo(1, 2) {
+		t.Errorf("final topo %v", rep.FinalTopo)
+	}
+}
+
+func TestRunDefaultsToStaticNullClient(t *testing.T) {
+	// Without WithScheduler the app runs statically: default 10 iterations
+	// on the default 1x1 topology, never resizing.
+	app := &countingApp{}
+	rep, err := reshape.Run(context.Background(), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Iterations != 10 || rep.FinalTopo != topo(1, 1) || rep.Resizes != 0 {
+		t.Errorf("defaults: %d iterations on %v with %d resizes", rep.Iterations, rep.FinalTopo, rep.Resizes)
+	}
+}
