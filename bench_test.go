@@ -21,6 +21,7 @@ import (
 	"repro/internal/perfmodel"
 	"repro/internal/redistrib"
 	"repro/internal/scheduler"
+	"repro/internal/scheduler/arbiter"
 	"repro/internal/simcluster"
 	"repro/internal/workload"
 )
@@ -208,6 +209,40 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 	b.Run("linear-10k", func(b *testing.B) {
 		run(b, 10_000, func() scheduler.Interface {
 			return scheduler.NewLinearCore(clusterProcs, true)
+		})
+	})
+}
+
+// BenchmarkArbiter measures cluster-wide arbitration end to end on the
+// contended Table-3-style mix (24 jobs, 3 priority levels, arrivals well
+// above the W1/W2 rate): the published FCFS single-job path versus the
+// benefit-ranked arbiter with a perfmodel predictor. mean-wait-s makes the
+// queue-wait win visible next to the throughput cost of the cluster-wide
+// snapshot reads; CI uploads both series in BENCH_scheduler.json.
+func BenchmarkArbiter(b *testing.B) {
+	params := perfmodel.SystemX()
+	jobs, err := experiments.ContendedMix()
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, mk func(s *simcluster.Sim) *simcluster.Sim) {
+		var wait float64
+		for i := 0; i < b.N; i++ {
+			res, err := mk(simcluster.New(workload.ClusterProcs, simcluster.Dynamic, params, jobs)).Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			wait = res.MeanQueueWait()
+		}
+		b.ReportMetric(wait, "mean-wait-s")
+		b.ReportMetric(float64(len(jobs))*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+	}
+	b.Run("fcfs", func(b *testing.B) {
+		run(b, func(s *simcluster.Sim) *simcluster.Sim { return s })
+	})
+	b.Run("benefit-ranked", func(b *testing.B) {
+		run(b, func(s *simcluster.Sim) *simcluster.Sim {
+			return s.WithArbiter(&arbiter.BenefitRanked{Predict: simcluster.Predictor(params, jobs)})
 		})
 	})
 }

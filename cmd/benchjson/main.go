@@ -1,0 +1,74 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// array on stdout, one object per benchmark result:
+//
+//	go test -run XXX -bench BenchmarkArbiter -benchtime 1x . | benchjson
+//	[{"name":"BenchmarkArbiter/fcfs-8","iterations":1,
+//	  "metrics":{"ns/op":445609,"jobs/s":53891,"mean-wait-s":708.2}}]
+//
+// CI pipes the scheduler benchmarks through it and uploads the result as
+// the BENCH_scheduler.json artifact, so the performance trajectory is
+// tracked across PRs in a machine-readable form. Non-benchmark lines
+// (headers, PASS/ok trailers) pass through to stderr untouched, keeping
+// the human-readable log visible in the CI step output.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed benchmark line.
+type result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	results := []result{} // encode [] (not null) when nothing parses
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if r, ok := parse(line); ok {
+			results = append(results, r)
+		} else {
+			fmt.Fprintln(os.Stderr, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse decodes one `Benchmark<Name>-P  N  <value> <unit> ...` line.
+func parse(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, true
+}

@@ -7,6 +7,7 @@
 //
 //	reshape-submit -addr 127.0.0.1:7077 -name mylu -app lu -n 64 -nb 4 \
 //	    -iters 10 -rows 1 -cols 2 -max 16 -wait
+//	reshape-submit -addr 127.0.0.1:7077 -name urgent -app lu -n 64 -priority 5
 //	reshape-submit -addr 127.0.0.1:7077 -status
 //	reshape-submit -addr 127.0.0.1:7077 -watch
 package main
@@ -36,6 +37,7 @@ func main() {
 	rows := flag.Int("rows", 1, "initial grid rows")
 	cols := flag.Int("cols", 2, "initial grid columns")
 	maxProcs := flag.Int("max", 16, "largest processor count in the configuration chain")
+	priority := flag.Int("priority", 0, "scheduler priority: higher starts sooner; waiting jobs age upward under the arbiter, so low priorities cannot starve")
 	wait := flag.Bool("wait", false, "block until the job completes")
 	flag.Parse()
 
@@ -84,13 +86,15 @@ func main() {
 		ProblemSize: *n,
 		BlockSize:   *nb,
 		Iterations:  *iters,
+		Priority:    *priority,
 		InitialTopo: initial,
 		Chain:       chain,
 	})
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("submitted job %d (%s, %s, n=%d) starting on %v\n", id, *name, *app, *n, initial)
+	fmt.Printf("submitted job %d (%s, %s, n=%d, priority %d) starting on %v\n",
+		id, *name, *app, *n, *priority, initial)
 	if *wait {
 		// Follow the job's own event stream while waiting — the v2 watch
 		// replaces v1's connection-pinning blocking wait.
@@ -126,8 +130,8 @@ func printStatus(ctx context.Context, cl *reshape.Client) {
 	fmt.Printf("processors: %d total, %d busy, %d free; %d job(s) queued\n",
 		st.Total, st.Busy, st.Free, st.QueueLen)
 	for _, j := range st.Jobs {
-		fmt.Printf("job %d %-12s %-8s %-8s topo=%-7v procs=%-3d submit=%.1f start=%.1f end=%.1f\n",
-			j.ID, j.Name, j.App, j.State, j.Topo, j.Procs, j.Submit, j.Start, j.End)
+		fmt.Printf("job %d %-12s %-8s %-8s prio=%-2d topo=%-7v procs=%-3d submit=%.1f start=%.1f end=%.1f\n",
+			j.ID, j.Name, j.App, j.State, j.Priority, j.Topo, j.Procs, j.Submit, j.Start, j.End)
 	}
 }
 

@@ -10,7 +10,8 @@
 // Usage:
 //
 //	reshaped -addr 127.0.0.1:7077 -procs 16 -backfill
-//	reshaped -procs 1024 -shards 16   # sharded pool for large clusters
+//	reshaped -procs 1024 -shards 16    # sharded pool for large clusters
+//	reshaped -procs 64 -arbiter benefit  # cluster-wide benefit-ranked arbitration
 //
 // Submit jobs with reshape-submit.
 package main
@@ -26,6 +27,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/rpc"
 	"repro/internal/scheduler"
+	"repro/internal/scheduler/arbiter"
 	sdk "repro/pkg/reshape"
 )
 
@@ -34,12 +36,23 @@ func main() {
 	procs := flag.Int("procs", 16, "number of processors in the pool")
 	backfill := flag.Bool("backfill", true, "enable simple backfill in addition to FCFS")
 	shards := flag.Int("shards", 0, "processor-pool shard count (0 = one shard per 64 processors)")
+	arb := flag.String("arbiter", "fcfs",
+		"resize arbitration: fcfs (published single-job policy) or benefit (cluster-wide benefit ranking with priorities, aging and coordinated shrink)")
 	flag.Parse()
 
 	if *shards <= 0 {
 		*shards = scheduler.DefaultShards(*procs)
 	}
 	core := scheduler.NewCoreSharded(*procs, *shards, *backfill)
+	switch *arb {
+	case "fcfs":
+		// The default single-job policy path.
+	case "benefit":
+		core.SetArbiter(&arbiter.BenefitRanked{})
+	default:
+		fmt.Fprintf(os.Stderr, "reshaped: unknown -arbiter %q (want fcfs or benefit)\n", *arb)
+		os.Exit(2)
+	}
 	var srv *scheduler.Server
 	srv = scheduler.NewServerCore(core, func(j *scheduler.Job) {
 		cfg := apps.Config{
@@ -73,8 +86,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	log.Printf("reshaped: %d processors in %d pool shard(s), listening on %s (rpc v1+v2)",
-		*procs, core.Pool().NumShards(), rpcSrv.Addr())
+	log.Printf("reshaped: %d processors in %d pool shard(s), %s arbitration, listening on %s (rpc v1+v2)",
+		*procs, core.Pool().NumShards(), *arb, rpcSrv.Addr())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

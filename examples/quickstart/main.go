@@ -72,10 +72,12 @@ func main() {
 	})
 
 	// Submit a 32x32 LU job starting on 1x2 processors; its configuration
-	// chain allows growth up to the full pool.
+	// chain allows growth up to the full pool. reshape.Submit works against
+	// any scheduler transport; WithPriority orders the wait queue and feeds
+	// cluster-wide arbitration.
 	ctx := context.Background()
 	start := grid.Topology{Rows: 1, Cols: 2}
-	jobID, err := srv.Submit(ctx, scheduler.JobSpec{
+	jobID, err := reshape.Submit(ctx, srv, scheduler.JobSpec{
 		Name:        "quickstart-lu",
 		App:         "lu",
 		ProblemSize: 32,
@@ -83,7 +85,7 @@ func main() {
 		Iterations:  6,
 		InitialTopo: start,
 		Chain:       grid.GrowthChain(start, 32, procs),
-	})
+	}, reshape.WithPriority(1))
 	if err != nil {
 		log.Fatal(err)
 	}

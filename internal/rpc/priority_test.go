@@ -1,0 +1,91 @@
+package rpc_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/reshape"
+	"repro/internal/resize"
+	"repro/internal/rpc"
+	"repro/internal/scheduler"
+)
+
+// TestPrioritySurvivesBothWireProtocols pins the Priority threading of the
+// arbitration layer end to end: a JobSpec submitted over the v1 one-shot
+// protocol and the v2 multiplexed protocol must reach the scheduler with
+// its priority intact, order the wait queue by it, and report it back
+// through the typed Status snapshot.
+func TestPrioritySurvivesBothWireProtocols(t *testing.T) {
+	sched := scheduler.NewServer(4, false, nil)
+	srv, err := rpc.Serve("127.0.0.1:0", sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	v2, err := reshape.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v2.Close()
+	clients := map[string]resize.Scheduler{
+		"v1": &rpc.Client{Addr: srv.Addr()},
+		"v2": v2,
+	}
+
+	ctx := context.Background()
+	start := grid.Topology{Rows: 2, Cols: 2}
+	spec := func(name string, prio int) scheduler.JobSpec {
+		return scheduler.JobSpec{
+			Name: name, App: "lu", ProblemSize: 8000, Iterations: 10,
+			Priority: prio, InitialTopo: start,
+			Chain: []grid.Topology{start},
+		}
+	}
+
+	// The hog fills the pool so later submissions queue in priority order.
+	if _, err := clients["v1"].Submit(ctx, spec("hog", 0)); err != nil {
+		t.Fatal(err)
+	}
+	lowID, err := clients["v1"].Submit(ctx, spec("low-v1", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	highID, err := clients["v2"].Submit(ctx, spec("high-v2", 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, cl := range clients {
+		st, err := cl.Status(ctx)
+		if err != nil {
+			t.Fatalf("%s status: %v", name, err)
+		}
+		byID := map[int]scheduler.JobInfo{}
+		for _, j := range st.Jobs {
+			byID[j.ID] = j
+		}
+		if got := byID[lowID].Priority; got != 1 {
+			t.Errorf("%s: job %d priority %d, want 1", name, lowID, got)
+		}
+		if got := byID[highID].Priority; got != 7 {
+			t.Errorf("%s: job %d priority %d, want 7", name, highID, got)
+		}
+	}
+
+	// Queue order follows priority: the core's head must be the high-prio
+	// submission even though it arrived last.
+	core := sched.Core()
+	j, ok := core.Job(highID)
+	if !ok || j.State != scheduler.Queued {
+		t.Fatalf("high-priority job missing/queued? %v", ok)
+	}
+	started, err := core.Finish(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(started) != 1 || started[0].ID != highID {
+		t.Fatalf("started %v, want the priority-7 job %d first", started, highID)
+	}
+}

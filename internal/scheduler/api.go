@@ -32,6 +32,9 @@ type Interface interface {
 	QueueLen() int
 	// SetPolicy replaces the Remap Scheduler policy.
 	SetPolicy(p Policy)
+	// SetArbiter installs a cluster-wide resize arbiter (nil restores the
+	// default single-job policy path).
+	SetArbiter(a Arbiter)
 	// AllocEvents returns the allocation trace.
 	AllocEvents() []AllocEvent
 	// BusySeconds integrates busy processors over virtual time up to until.

@@ -1,0 +1,148 @@
+package scheduler
+
+import "repro/internal/grid"
+
+// This file defines the cluster-wide arbitration layer. Historically every
+// Contact answered the calling job in isolation through Policy.Decide; the
+// Arbiter generalizes that hook to cluster scope: at each resize point it
+// sees a snapshot of the whole scheduler — idle pool, the queued-job window
+// with priorities and ages, and (lazily) every running job's profile and
+// configuration chain — and returns the decision for the contacting job.
+// Stateful arbiters can plan multi-job reallocations across contacts, e.g.
+// coordinating shrinks of several running jobs so that together they free
+// exactly enough processors to start the queue head (see
+// internal/scheduler/arbiter for the benefit-ranked implementation).
+//
+// The default PolicyArbiter reproduces the published single-job policy
+// bit-identically, so cores without an explicit arbiter behave exactly as
+// before the arbitration layer existed (pinned by TestPolicyArbiterMatchesPublishedDecide).
+
+// ContactView is a read-only view of one running job handed to arbiters.
+// The Profile pointer aliases live scheduler state: arbiters must treat it
+// as immutable and must not retain it across calls.
+type ContactView struct {
+	ID       int
+	Priority int
+	Topo     grid.Topology
+	Chain    []grid.Topology
+	Profile  *Profile
+	// RemainingIters estimates how many outer iterations the job still has
+	// to run (<=0 when unknown or exceeded).
+	RemainingIters int
+	// PendingFree counts processors the job has already agreed to give back
+	// through an in-flight shrink (released at ResizeComplete). Arbiters
+	// subtract these from any fresh shrink demand so coordinated plans do
+	// not over-shrink.
+	PendingFree int
+}
+
+// QueuedView is a read-only view of one waiting job.
+type QueuedView struct {
+	ID       int
+	Priority int
+	// Need is the job's initial processor requirement.
+	Need int
+	// Wait is how long the job has been queued (snapshot time minus
+	// submission time), the input to starvation aging.
+	Wait float64
+}
+
+// ClusterView grants an arbiter lazy access to cluster-wide state that
+// would be too expensive to materialize on every contact. Both cores
+// implement it; the default arbiter never calls it, keeping the published
+// single-job path allocation-lean.
+type ClusterView interface {
+	// EachRunning yields a view of every running job in ascending job-id
+	// order (deterministic), stopping early when yield returns false.
+	EachRunning(yield func(ContactView) bool)
+}
+
+// ClusterSnapshot is everything an Arbiter sees at one resize point. The
+// calling job's iteration has already been recorded in its profile when the
+// snapshot is taken (matching the published Contact semantics).
+type ClusterSnapshot struct {
+	// Now is the scheduler clock at the contact.
+	Now float64
+	// Total and Idle describe the processor pool.
+	Total int
+	Idle  int
+	// Caller is the job at the resize point.
+	Caller ContactView
+	// Queued is the head window of the wait queue in queue order (nil when
+	// nothing waits). Like RemapInput.QueuedNeeds, Core caps it at
+	// QueuedNeedsWindow entries while the LinearCore reference materializes
+	// the whole queue — arbiters must therefore react only to the jobs they
+	// can see (the head, in practice) and never assume the window is the
+	// full queue. QueueLen has the full queue length on both cores.
+	Queued   []QueuedView
+	QueueLen int
+	// Cluster lazily exposes every running job.
+	Cluster ClusterView
+}
+
+// QueuedNeeds flattens the queued window into the processor-need list the
+// published policy consumes (nil when nothing waits).
+func (s *ClusterSnapshot) QueuedNeeds() []int {
+	if len(s.Queued) == 0 {
+		return nil
+	}
+	needs := make([]int, len(s.Queued))
+	for i, q := range s.Queued {
+		needs[i] = q.Need
+	}
+	return needs
+}
+
+// RemapInput converts the snapshot into the single-job policy input.
+func (s *ClusterSnapshot) RemapInput() RemapInput {
+	return RemapInput{
+		Current:        s.Caller.Topo,
+		Chain:          s.Caller.Chain,
+		Profile:        s.Caller.Profile,
+		IdleProcs:      s.Idle,
+		QueuedNeeds:    s.QueuedNeeds(),
+		RemainingIters: s.Caller.RemainingIters,
+	}
+}
+
+// Arbiter decides what happens at a resize point, seeing the whole cluster.
+// Implementations may keep state across calls (multi-job shrink plans,
+// aging bookkeeping); calls are serialized by the core's external
+// synchronization (the Server lock, or the single-threaded simulator), so
+// no internal locking is needed.
+type Arbiter interface {
+	Name() string
+	// Decide returns the expand/shrink/none decision for snap.Caller. The
+	// core actuates it exactly like a Policy decision: expansions reserve
+	// processors immediately (degrading to none if a concurrent claim won),
+	// shrinks release at ResizeComplete.
+	Decide(snap ClusterSnapshot) Decision
+}
+
+// PolicyArbiter adapts a single-job Policy to the Arbiter interface: the
+// cluster snapshot is narrowed to the published RemapInput and the policy
+// decides as if it were wired into Contact directly. It is the behavior of
+// every core without an explicit SetArbiter call.
+type PolicyArbiter struct {
+	// Policy defaults to PaperPolicy.
+	Policy Policy
+}
+
+// Name identifies the arbiter.
+func (a PolicyArbiter) Name() string {
+	if a.Policy == nil {
+		return "single-job(paper)"
+	}
+	return "single-job(" + a.Policy.Name() + ")"
+}
+
+// Decide applies the wrapped policy to the caller's slice of the snapshot.
+func (a PolicyArbiter) Decide(snap ClusterSnapshot) Decision {
+	pol := a.Policy
+	if pol == nil {
+		pol = PaperPolicy{}
+	}
+	return pol.Decide(snap.RemapInput())
+}
+
+var _ Arbiter = PolicyArbiter{}

@@ -1,0 +1,343 @@
+// Package arbiter implements cluster-wide resize arbitration for the
+// ReSHAPE scheduler: instead of answering each contacting job greedily in
+// isolation (the published single-job policy, still the default), the
+// BenefitRanked arbiter looks at the whole cluster snapshot at every resize
+// point and
+//
+//   - ranks expansion candidates by predicted iteration-time benefit per
+//     processor, so a contacting job yields the idle pool when another
+//     running job would use the same processors better (probing is
+//     preserved: a job whose next configuration has never been measured or
+//     predicted always gets to try it — measurements are how the ranking
+//     learns);
+//   - plans coordinated multi-job shrinks under queue pressure: rather
+//     than every contacting job independently giving up processors, the
+//     arbiter computes the exact deficit between the queue head's need and
+//     the idle pool plus in-flight frees, assigns shrink steps to the
+//     cheapest donors (lowest priority first, then least predicted harm
+//     per freed processor), and issues each demand as its job reaches a
+//     resize point — no over-shrinking, no double-freeing;
+//   - ages waiting jobs: a strictly higher-priority running job may keep
+//     expanding over a lower-priority queue, but only until the waiting
+//     job's age lifts its effective priority to parity, so low-priority
+//     submissions cannot be expanded over indefinitely.
+//
+// The arbiter is stateful (it carries the current shrink plan across
+// contacts) and relies on the core's external synchronization, exactly
+// like the cores themselves.
+package arbiter
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/grid"
+	"repro/internal/scheduler"
+)
+
+// DefaultAgingSeconds is the starvation-aging rate when BenefitRanked's
+// AgingSeconds is zero: a queued job gains one effective priority level per
+// this many seconds of waiting.
+const DefaultAgingSeconds = 300
+
+// BenefitRanked is the cluster-wide arbiter. The zero value is ready to
+// use; Predict is optional.
+type BenefitRanked struct {
+	// Predict estimates a job's per-iteration time on a configuration it
+	// has never run on (e.g. a perfmodel fit; see simcluster.Predictor).
+	// Without it, unmeasured configurations are treated as probe
+	// candidates, exactly like the published policy.
+	Predict func(jobID int, t grid.Topology) (float64, bool)
+	// AgingSeconds is the starvation-aging rate (DefaultAgingSeconds when
+	// zero): each full interval a job waits raises its effective priority
+	// by one when gating expansions over the queue.
+	AgingSeconds float64
+	// Policy is the single-job logic the expand path runs before ranking
+	// (nil = the published scheduler.PaperPolicy). An installed arbiter
+	// replaces the core's own Policy entirely, so a custom policy must be
+	// set here, not via SetPolicy.
+	Policy scheduler.Policy
+
+	plan *shrinkPlan
+}
+
+var _ scheduler.Arbiter = (*BenefitRanked)(nil)
+
+// shrinkPlan is one coordinated reallocation: the queued job it is meant to
+// start and the shrink targets still to be demanded, keyed by donor job id.
+// Demands are removed as donors contact; the plan is rebuilt whenever the
+// head changes or the surviving demands no longer cover the deficit (a
+// donor finished or resized in the meantime).
+type shrinkPlan struct {
+	headID  int
+	demands map[int]grid.Topology
+}
+
+// Name identifies the arbiter.
+func (a *BenefitRanked) Name() string { return "benefit-ranked" }
+
+// Decide implements scheduler.Arbiter.
+func (a *BenefitRanked) Decide(snap scheduler.ClusterSnapshot) scheduler.Decision {
+	if len(snap.Queued) == 0 {
+		a.plan = nil
+		return a.expand(snap)
+	}
+	head := snap.Queued[0]
+	if snap.Caller.Priority > a.agedPriority(head) {
+		// A strictly higher-priority runner is exempt from queue pressure —
+		// until the waiting job ages up to parity.
+		return a.expand(snap)
+	}
+	return a.shrink(snap, head)
+}
+
+// agedPriority is a queued job's effective priority after starvation aging.
+func (a *BenefitRanked) agedPriority(q scheduler.QueuedView) int {
+	aging := a.AgingSeconds
+	if aging <= 0 {
+		aging = DefaultAgingSeconds
+	}
+	return q.Priority + int(q.Wait/aging)
+}
+
+// expand handles a contact with no (effective) queue pressure: the
+// published single-job logic decides, then the ranking veto applies — the
+// grant is withheld when a rival running job would use the contested idle
+// processors to strictly greater predicted benefit.
+func (a *BenefitRanked) expand(snap scheduler.ClusterSnapshot) scheduler.Decision {
+	in := snap.RemapInput()
+	in.QueuedNeeds = nil // priority exemption: decide as if nothing waited
+	pol := a.Policy
+	if pol == nil {
+		pol = scheduler.PaperPolicy{}
+	}
+	d := pol.Decide(in)
+	if d.Action != scheduler.ActionExpand {
+		return d
+	}
+	if rival, ok := a.betterCandidate(snap, d.Target); ok {
+		return scheduler.Decision{
+			Action: scheduler.ActionNone,
+			Reason: fmt.Sprintf("yielding idle pool to job %d (higher benefit per processor)", rival),
+		}
+	}
+	return d
+}
+
+// expandGain scores one job's next expansion step: predicted total
+// iteration-time benefit per extra processor over the job's remaining
+// iterations. ok is false when the job is already at its largest
+// configuration; known is false when neither a measurement nor a
+// prediction exists (a probe candidate).
+func (a *BenefitRanked) expandGain(r scheduler.ContactView) (next grid.Topology, perProc float64, known, ok bool) {
+	next, ok = scheduler.NextInChain(r.Chain, r.Topo)
+	if !ok {
+		return grid.Topology{}, 0, false, false
+	}
+	cur := r.Profile.Current()
+	// A job mid-resize still carries its previous configuration's visit as
+	// current; scoring against that baseline would inflate the gain, so
+	// treat it as unmeasured until an iteration lands on the new topology.
+	if cur == nil || len(cur.IterTimes) == 0 || cur.Topo != r.Topo {
+		return next, 0, false, true
+	}
+	nextTime, measured := r.Profile.TimeAt(next)
+	if !measured && a.Predict != nil {
+		nextTime, measured = a.Predict(r.ID, next)
+	}
+	if !measured {
+		return next, 0, false, true
+	}
+	iters := r.RemainingIters
+	if iters < 1 {
+		iters = 1
+	}
+	delta := next.Count() - r.Topo.Count()
+	return next, (cur.Last() - nextTime) * float64(iters) / float64(delta), true, true
+}
+
+// betterCandidate reports whether a rival running job outranks the caller
+// for the idle processors the caller wants: the rival's next step must fit
+// the idle pool, conflict with the caller's (the pool cannot serve both),
+// carry a known strictly higher benefit per processor, and belong to a job
+// of at least equal priority. An unmeasured caller is never vetoed —
+// probing is how measurements accrue.
+func (a *BenefitRanked) betterCandidate(snap scheduler.ClusterSnapshot, target grid.Topology) (int, bool) {
+	caller := snap.Caller
+	_, mine, known, _ := a.expandGain(caller)
+	if !known {
+		return 0, false
+	}
+	deltaMine := target.Count() - caller.Topo.Count()
+	best, bestGain := -1, mine
+	snap.Cluster.EachRunning(func(r scheduler.ContactView) bool {
+		if r.ID == caller.ID || r.Priority < caller.Priority {
+			return true
+		}
+		next, gain, rknown, rok := a.expandGain(r)
+		if !rok || !rknown {
+			return true
+		}
+		deltaR := next.Count() - r.Topo.Count()
+		if deltaR > snap.Idle || snap.Idle >= deltaMine+deltaR {
+			// The rival's step does not fit, or the pool serves both: no
+			// contention, no veto.
+			return true
+		}
+		if gain > bestGain {
+			best, bestGain = r.ID, gain
+		}
+		return true
+	})
+	if best >= 0 {
+		return best, true
+	}
+	return 0, false
+}
+
+// shrink handles queue pressure: compute the head job's processor deficit
+// net of the idle pool and every in-flight shrink, keep (or rebuild) the
+// coordinated donation plan, and issue the caller its assigned shrink if it
+// has one.
+func (a *BenefitRanked) shrink(snap scheduler.ClusterSnapshot, head scheduler.QueuedView) scheduler.Decision {
+	// Donors are the running jobs the head's (aged) priority can draft;
+	// priority-exempt runners take the expand path at their own contacts,
+	// so a demand assigned to one would never be issued — they must not
+	// count toward plan coverage either. Their in-flight frees are real
+	// regardless of exemption.
+	agedHead := a.agedPriority(head)
+	var donors []scheduler.ContactView
+	inflight := 0
+	snap.Cluster.EachRunning(func(r scheduler.ContactView) bool {
+		inflight += r.PendingFree
+		if r.Priority <= agedHead {
+			donors = append(donors, r)
+		}
+		return true
+	})
+	deficit := head.Need - snap.Idle - inflight
+	if deficit <= 0 {
+		a.plan = nil
+		return scheduler.Decision{
+			Action: scheduler.ActionNone,
+			Reason: "queued head covered by idle pool and in-flight frees",
+		}
+	}
+	if a.plan == nil || a.plan.headID != head.ID || a.coverage(donors) < deficit {
+		a.plan = a.buildPlan(donors, head.ID, deficit)
+	}
+	if target, ok := a.plan.demands[snap.Caller.ID]; ok {
+		delete(a.plan.demands, snap.Caller.ID)
+		// The deficit may have fallen since the plan was built (another
+		// donor finished, frees landed): re-pick the shallowest of the
+		// caller's shrink points that still covers it, never deeper than
+		// planned — coordinated shrinking frees exactly enough.
+		for _, p := range snap.Caller.Profile.ShrinkPoints(snap.Caller.Topo) {
+			if snap.Caller.Topo.Count()-p.Count() >= deficit && p.Count() >= target.Count() {
+				target = p
+				break
+			}
+		}
+		if target.Count() < snap.Caller.Topo.Count() {
+			return scheduler.Decision{
+				Action: scheduler.ActionShrink,
+				Target: target,
+				Reason: fmt.Sprintf("coordinated shrink to start queued job %d", head.ID),
+			}
+		}
+	}
+	if len(a.plan.demands) > 0 {
+		return scheduler.Decision{Action: scheduler.ActionNone, Reason: "shrink assigned to other jobs"}
+	}
+	return scheduler.Decision{Action: scheduler.ActionNone, Reason: "queue waiting but no job can shrink"}
+}
+
+// coverage sums the processors the plan's outstanding demands would still
+// free, revalidated against the draftable donors' current topologies —
+// demands on jobs that finished, resized away, or became priority-exempt
+// contribute nothing and force a rebuild.
+func (a *BenefitRanked) coverage(donors []scheduler.ContactView) int {
+	if a.plan == nil {
+		return 0
+	}
+	freed := 0
+	for _, r := range donors {
+		if target, ok := a.plan.demands[r.ID]; ok && target.Count() < r.Topo.Count() {
+			freed += r.Topo.Count() - target.Count()
+		}
+	}
+	return freed
+}
+
+// shrinkLoss scores how much a donor hurts by shrinking to point: predicted
+// iteration-time increase per freed processor (0 when no record or
+// prediction exists — shrinking such a job is considered cheap).
+func (a *BenefitRanked) shrinkLoss(r scheduler.ContactView, point grid.Topology) float64 {
+	cur := r.Profile.Current()
+	// Mid-resize jobs have no measured baseline on their current topology
+	// (see expandGain); score them as cheap rather than against the wrong
+	// configuration's time.
+	if cur == nil || len(cur.IterTimes) == 0 || cur.Topo != r.Topo {
+		return 0
+	}
+	t, ok := r.Profile.TimeAt(point)
+	if !ok && a.Predict != nil {
+		t, ok = a.Predict(r.ID, point)
+	}
+	if !ok {
+		return 0
+	}
+	freed := r.Topo.Count() - point.Count()
+	if freed <= 0 {
+		return 0
+	}
+	return (t - cur.Last()) / float64(freed)
+}
+
+// buildPlan assembles a fresh donation plan covering deficit processors
+// from the draftable donors: ranked lowest priority first, then least harm
+// per freed processor, then youngest first; each donor contributes its
+// smallest-sufficient shrink point (or, failing that, its deepest one), and
+// donors are taken until the deficit is covered or no candidates remain.
+func (a *BenefitRanked) buildPlan(donors []scheduler.ContactView, headID, deficit int) *shrinkPlan {
+	type candidate struct {
+		view   scheduler.ContactView
+		points []grid.Topology // descending processor count: least freed first
+		loss   float64
+	}
+	var cands []candidate
+	for _, r := range donors {
+		pts := r.Profile.ShrinkPoints(r.Topo)
+		if len(pts) == 0 {
+			continue
+		}
+		cands = append(cands, candidate{view: r, points: pts, loss: a.shrinkLoss(r, pts[0])})
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].view.Priority != cands[j].view.Priority {
+			return cands[i].view.Priority < cands[j].view.Priority
+		}
+		if cands[i].loss != cands[j].loss {
+			return cands[i].loss < cands[j].loss
+		}
+		return cands[i].view.ID > cands[j].view.ID
+	})
+	demands := make(map[int]grid.Topology)
+	for _, c := range cands {
+		if deficit <= 0 {
+			break
+		}
+		// Smallest shrink step that covers the remaining deficit; the
+		// deepest available step when none does.
+		pick := c.points[len(c.points)-1]
+		for _, p := range c.points {
+			if c.view.Topo.Count()-p.Count() >= deficit {
+				pick = p
+				break
+			}
+		}
+		demands[c.view.ID] = pick
+		deficit -= c.view.Topo.Count() - pick.Count()
+	}
+	return &shrinkPlan{headID: headID, demands: demands}
+}

@@ -1,0 +1,183 @@
+package scheduler
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/grid"
+)
+
+// This file holds the contact-path state machine shared by Core and
+// LinearCore. Both cores used to carry copy-pasted Contact/ResizeComplete/
+// Finish bodies (~100 lines of identical profiling and bookkeeping); the
+// helpers below are that logic written once, parameterized only by the
+// pool operations that genuinely differ (sharded grants vs a free counter).
+// The arbitration layer plugs in here exactly once, for both cores.
+
+// newJob validates a spec against the cluster size and builds the queued
+// job record for it.
+func newJob(spec JobSpec, id, total int, now float64) (*Job, error) {
+	if !spec.InitialTopo.IsValid() {
+		return nil, fmt.Errorf("scheduler: job %q has invalid initial topology", spec.Name)
+	}
+	if spec.InitialTopo.Count() > total {
+		return nil, fmt.Errorf("scheduler: job %q needs %d processors, cluster has %d",
+			spec.Name, spec.InitialTopo.Count(), total)
+	}
+	return &Job{
+		ID:         id,
+		Spec:       spec,
+		State:      Queued,
+		Topo:       spec.InitialTopo,
+		Profile:    NewProfile(),
+		SubmitTime: now,
+	}, nil
+}
+
+// remainingIters estimates how many outer iterations the job still has to
+// run, from the spec's iteration budget and the profiled iteration count.
+func remainingIters(j *Job) int {
+	done := 0
+	for _, v := range j.Profile.Visits {
+		done += len(v.IterTimes)
+	}
+	return j.Spec.Iterations - done
+}
+
+// contactView builds the arbiter's read-only view of a running job.
+func contactView(j *Job) ContactView {
+	return ContactView{
+		ID:             j.ID,
+		Priority:       j.Spec.Priority,
+		Topo:           j.Topo,
+		Chain:          j.Spec.Chain,
+		Profile:        j.Profile,
+		RemainingIters: remainingIters(j),
+		PendingFree:    j.pendingFree,
+	}
+}
+
+// beginContact validates a contact_scheduler call and records the reported
+// iteration time in the job's performance profile.
+func beginContact(jobs map[int]*Job, jobID int, topo grid.Topology, iterTime float64) (*Job, error) {
+	j, ok := jobs[jobID]
+	if !ok {
+		return nil, fmt.Errorf("scheduler: unknown job %d", jobID)
+	}
+	if j.State != Running {
+		return nil, fmt.Errorf("scheduler: job %d contacted while %v", jobID, j.State)
+	}
+	if topo != j.Topo {
+		return nil, fmt.Errorf("scheduler: job %d reports topology %v, scheduler has %v",
+			jobID, topo, j.Topo)
+	}
+	j.Profile.RecordIteration(j.Topo, iterTime)
+	return j, nil
+}
+
+// defaultDecide is the published single-job decision path: exactly the
+// narrowing PolicyArbiter performs, minus the cluster snapshot — so the
+// default (no-arbiter) contact stays allocation-identical to the
+// pre-arbiter code. TestPolicyArbiterMatchesPublishedDecide holds the two
+// assembly paths to identical decisions.
+func defaultDecide(pol Policy, j *Job, idle int, queuedNeeds []int) Decision {
+	if pol == nil {
+		pol = PaperPolicy{}
+	}
+	return pol.Decide(RemapInput{
+		Current:        j.Topo,
+		Chain:          j.Spec.Chain,
+		Profile:        j.Profile,
+		IdleProcs:      idle,
+		QueuedNeeds:    queuedNeeds,
+		RemainingIters: remainingIters(j),
+	})
+}
+
+// insertRunning adds j to an id-sorted running index. The index bounds
+// EachRunning by the number of *running* jobs (itself bounded by the pool
+// size: every running job holds at least one processor) instead of every
+// job id ever allocated, so arbiter contacts stay O(running) over a
+// long-lived daemon's life.
+func insertRunning(running []*Job, j *Job) []*Job {
+	i := sort.Search(len(running), func(k int) bool { return running[k].ID >= j.ID })
+	running = append(running, nil)
+	copy(running[i+1:], running[i:])
+	running[i] = j
+	return running
+}
+
+// removeRunning drops j from the id-sorted running index.
+func removeRunning(running []*Job, j *Job) []*Job {
+	i := sort.Search(len(running), func(k int) bool { return running[k].ID >= j.ID })
+	if i < len(running) && running[i] == j {
+		copy(running[i:], running[i+1:])
+		running[len(running)-1] = nil
+		running = running[:len(running)-1]
+	}
+	return running
+}
+
+// eachRunning yields the index's views in ascending id order.
+func eachRunning(running []*Job, yield func(ContactView) bool) {
+	for _, j := range running {
+		if !yield(contactView(j)) {
+			return
+		}
+	}
+}
+
+// applyDecision actuates an arbitration decision on the job. Expansions
+// reserve the delta through grant (which reports whether the idle
+// processors were still available); shrinks mark the give-back as pending
+// until ResizeComplete. It returns the decision actually applied — an
+// expansion whose grant lost a concurrent race degrades to ActionNone.
+func applyDecision(j *Job, d Decision, grant func(delta int) bool, record func(kind string)) Decision {
+	switch d.Action {
+	case ActionExpand:
+		delta := d.Target.Count() - j.Topo.Count()
+		if !grant(delta) {
+			// A concurrent reservation claimed the idle processors between
+			// the policy decision and the grant; hold steady this iteration.
+			return Decision{Action: ActionNone, Reason: "idle processors claimed concurrently"}
+		}
+		j.resizeFrom = j.Topo
+		j.Topo = d.Target
+		record("expand")
+	case ActionShrink:
+		j.pendingFree += j.Topo.Count() - d.Target.Count()
+		j.resizeFrom = j.Topo
+		j.Topo = d.Target
+		record("shrink")
+	}
+	return d
+}
+
+// finishResize records the redistribution cost of a completed resize in the
+// profiler and returns the number of processors a pending shrink should now
+// release (0 when the resize freed nothing). The caller zeroes pendingFree
+// only once the pool release succeeds, so a failed release keeps the
+// give-back pending for a retry instead of leaking the processors.
+func finishResize(j *Job, redistTime float64) int {
+	if j.resizeFrom.IsValid() {
+		j.Profile.RecordRedist(j.resizeFrom, j.Topo, redistTime)
+		j.resizeFrom = grid.Topology{}
+	}
+	return j.pendingFree
+}
+
+// finishJob validates a completion signal and transitions the job to Done.
+// The caller releases the job's processors afterwards (pool layouts differ
+// between cores).
+func finishJob(jobs map[int]*Job, jobID int, now float64, kind string) (*Job, error) {
+	j, ok := jobs[jobID]
+	if !ok {
+		return nil, fmt.Errorf("scheduler: unknown job %d", jobID)
+	}
+	if j.State != Running {
+		return nil, fmt.Errorf("scheduler: job %d completed (%s) while %v", jobID, kind, j.State)
+	}
+	j.State = Done
+	j.EndTime = now
+	return j, nil
+}

@@ -86,10 +86,16 @@ type AllocEvent struct {
 	Busy  int // busy processors immediately after the event
 }
 
-// queuedNeedsWindow caps the queue-pressure view handed to policies. The
-// published policy only consults the head of the queue; a bounded window
-// keeps Contact O(log n) even with hundreds of thousands of waiting jobs.
-const queuedNeedsWindow = 8
+// QueuedNeedsWindow caps the queue-pressure view Core hands to policies and
+// arbiters: RemapInput.QueuedNeeds and ClusterSnapshot.Queued list at most
+// this many waiting jobs, head first. The published policy only consults
+// the head of the queue, and the bounded window keeps Contact O(log n) even
+// with hundreds of thousands of waiting jobs — so policies must size their
+// reaction to the jobs they can see (in particular: never shrink more than
+// the head needs on the basis of a truncated tail; see
+// TestTruncatedWindowNeverOverShrinks). LinearCore, the reference
+// implementation, still materializes the full queue.
+const QueuedNeedsWindow = 8
 
 // Core is the passive scheduler state machine: clock-independent (every
 // mutation takes an explicit timestamp) so the same policy code drives both
@@ -104,13 +110,19 @@ const queuedNeedsWindow = 8
 type Core struct {
 	Total    int
 	Backfill bool
-	// Policy is the Remap Scheduler strategy; defaults to PaperPolicy.
+	// Policy is the Remap Scheduler strategy; defaults to PaperPolicy. It
+	// is consulted through the default single-job arbiter unless SetArbiter
+	// installs a cluster-wide one.
 	Policy Policy
 
+	arb    Arbiter
 	pool   *Pool
 	nextID int
 	queue  jobQueue
 	jobs   map[int]*Job
+	// running is the id-sorted index of running jobs backing EachRunning;
+	// its length is bounded by the pool size, not by job history.
+	running []*Job
 
 	// Events is the allocation trace. Tracing can be disabled for huge
 	// simulations (DisableTrace); utilization accounting stays exact either
@@ -163,6 +175,15 @@ func (c *Core) QueueLen() int { return c.queue.len() }
 // SetPolicy replaces the Remap Scheduler policy.
 func (c *Core) SetPolicy(p Policy) { c.Policy = p }
 
+// SetArbiter installs a cluster-wide resize arbiter. A nil arbiter restores
+// the default: the single-job PolicyArbiter over c.Policy, which reproduces
+// the published Contact behavior bit-identically.
+func (c *Core) SetArbiter(a Arbiter) { c.arb = a }
+
+// Arbiter returns the installed cluster-wide arbiter (nil when the default
+// single-job policy path is active).
+func (c *Core) Arbiter() Arbiter { return c.arb }
+
 // AllocEvents returns the allocation trace (nil when tracing is disabled).
 func (c *Core) AllocEvents() []AllocEvent { return c.Events }
 
@@ -212,20 +233,9 @@ func (c *Core) record(now float64, j *Job, kind string) {
 // returns the job and any jobs started as a consequence (possibly including
 // the submitted one).
 func (c *Core) Submit(spec JobSpec, now float64) (*Job, []*Job, error) {
-	if !spec.InitialTopo.IsValid() {
-		return nil, nil, fmt.Errorf("scheduler: job %q has invalid initial topology", spec.Name)
-	}
-	if spec.InitialTopo.Count() > c.Total {
-		return nil, nil, fmt.Errorf("scheduler: job %q needs %d processors, cluster has %d",
-			spec.Name, spec.InitialTopo.Count(), c.Total)
-	}
-	j := &Job{
-		ID:         c.nextID,
-		Spec:       spec,
-		State:      Queued,
-		Topo:       spec.InitialTopo,
-		Profile:    NewProfile(),
-		SubmitTime: now,
+	j, err := newJob(spec, c.nextID, c.Total, now)
+	if err != nil {
+		return nil, nil, err
 	}
 	c.nextID++
 	c.jobs[j.ID] = j
@@ -275,6 +285,7 @@ func (c *Core) start(j *Job, now float64) bool {
 	// State leaves Queued before the queue drops the job so take's lazy
 	// bucket sweep already sees this entry as dead.
 	j.State = Running
+	c.running = insertRunning(c.running, j)
 	c.queue.take(j)
 	j.StartTime = now
 	j.Topo = j.Spec.InitialTopo
@@ -283,69 +294,73 @@ func (c *Core) start(j *Job, now float64) bool {
 	return true
 }
 
-// queuedNeeds lists the processor requirements of the first waiting jobs in
-// queue order, capped at queuedNeedsWindow.
+// queuedNeeds lists the processor requirements of the first waiting jobs
+// in queue order, capped at QueuedNeedsWindow.
 func (c *Core) queuedNeeds() []int {
 	if c.queue.len() == 0 {
 		return nil
 	}
-	return c.queue.needsWindow(nil, queuedNeedsWindow)
+	return c.queue.needsWindow(nil, QueuedNeedsWindow)
+}
+
+// queuedWindow lists the first waiting jobs in queue order as arbiter
+// views, capped at QueuedNeedsWindow (nil when nothing waits).
+func (c *Core) queuedWindow(now float64) []QueuedView {
+	if c.queue.len() == 0 {
+		return nil
+	}
+	out := make([]QueuedView, 0, QueuedNeedsWindow)
+	c.queue.window(QueuedNeedsWindow, func(j *Job) {
+		out = append(out, QueuedView{
+			ID:       j.ID,
+			Priority: j.Spec.Priority,
+			Need:     j.Spec.InitialTopo.Count(),
+			Wait:     now - j.SubmitTime,
+		})
+	})
+	return out
+}
+
+// EachRunning implements ClusterView: it yields every running job in
+// ascending id order. Arbiters call it lazily; the default single-job path
+// never does.
+func (c *Core) EachRunning(yield func(ContactView) bool) {
+	eachRunning(c.running, yield)
+}
+
+// snapshot assembles the arbiter's view of the cluster at a resize point.
+func (c *Core) snapshot(j *Job, now float64) ClusterSnapshot {
+	return ClusterSnapshot{
+		Now:      now,
+		Total:    c.Total,
+		Idle:     c.pool.Free(),
+		Caller:   contactView(j),
+		Queued:   c.queuedWindow(now),
+		QueueLen: c.queue.len(),
+		Cluster:  c,
+	}
 }
 
 // Contact is the Remap Scheduler entry point: a running job reports its
 // latest iteration time (and the redistribution time of its previous
 // resize, if any) from a resize point, and receives the expand/shrink/none
-// decision. Expansion reserves the additional processors immediately;
-// shrinking releases processors only when the resize library confirms with
-// ResizeComplete.
+// decision from the arbitration layer. Expansion reserves the additional
+// processors immediately; shrinking releases processors only when the
+// resize library confirms with ResizeComplete.
 func (c *Core) Contact(jobID int, topo grid.Topology, iterTime, redistTime float64, now float64) (Decision, error) {
-	j, ok := c.jobs[jobID]
-	if !ok {
-		return Decision{}, fmt.Errorf("scheduler: unknown job %d", jobID)
+	j, err := beginContact(c.jobs, jobID, topo, iterTime)
+	if err != nil {
+		return Decision{}, err
 	}
-	if j.State != Running {
-		return Decision{}, fmt.Errorf("scheduler: job %d contacted while %v", jobID, j.State)
+	var d Decision
+	if c.arb != nil {
+		d = c.arb.Decide(c.snapshot(j, now))
+	} else {
+		d = defaultDecide(c.Policy, j, c.pool.Free(), c.queuedNeeds())
 	}
-	if topo != j.Topo {
-		return Decision{}, fmt.Errorf("scheduler: job %d reports topology %v, scheduler has %v",
-			jobID, topo, j.Topo)
-	}
-	j.Profile.RecordIteration(j.Topo, iterTime)
-
-	done := 0
-	for _, v := range j.Profile.Visits {
-		done += len(v.IterTimes)
-	}
-	pol := c.Policy
-	if pol == nil {
-		pol = PaperPolicy{}
-	}
-	d := pol.Decide(RemapInput{
-		Current:        j.Topo,
-		Chain:          j.Spec.Chain,
-		Profile:        j.Profile,
-		IdleProcs:      c.pool.Free(),
-		QueuedNeeds:    c.queuedNeeds(),
-		RemainingIters: j.Spec.Iterations - done,
-	})
-	switch d.Action {
-	case ActionExpand:
-		delta := d.Target.Count() - j.Topo.Count()
-		if !c.pool.AllocInto(&j.grant, delta) {
-			// A concurrent reservation claimed the idle processors between
-			// the policy decision and the grant; hold steady this iteration.
-			return Decision{Action: ActionNone, Reason: "idle processors claimed concurrently"}, nil
-		}
-		j.resizeFrom = j.Topo
-		j.Topo = d.Target
-		c.record(now, j, "expand")
-	case ActionShrink:
-		j.pendingFree += j.Topo.Count() - d.Target.Count()
-		j.resizeFrom = j.Topo
-		j.Topo = d.Target
-		c.record(now, j, "shrink")
-	}
-	return d, nil
+	return applyDecision(j, d,
+		func(delta int) bool { return c.pool.AllocInto(&j.grant, delta) },
+		func(kind string) { c.record(now, j, kind) }), nil
 }
 
 // ResizeComplete confirms that a granted resize finished: the redistribution
@@ -357,12 +372,8 @@ func (c *Core) ResizeComplete(jobID int, redistTime float64, now float64) ([]*Jo
 	if !ok {
 		return nil, fmt.Errorf("scheduler: unknown job %d", jobID)
 	}
-	if j.resizeFrom.IsValid() {
-		j.Profile.RecordRedist(j.resizeFrom, j.Topo, redistTime)
-		j.resizeFrom = grid.Topology{}
-	}
-	if j.pendingFree > 0 {
-		if err := c.pool.Release(&j.grant, j.pendingFree); err != nil {
+	if freed := finishResize(j, redistTime); freed > 0 {
+		if err := c.pool.Release(&j.grant, freed); err != nil {
 			return nil, err
 		}
 		j.pendingFree = 0
@@ -385,15 +396,11 @@ func (c *Core) Fail(jobID int, now float64) ([]*Job, error) {
 }
 
 func (c *Core) complete(jobID int, now float64, kind string) ([]*Job, error) {
-	j, ok := c.jobs[jobID]
-	if !ok {
-		return nil, fmt.Errorf("scheduler: unknown job %d", jobID)
+	j, err := finishJob(c.jobs, jobID, now, kind)
+	if err != nil {
+		return nil, err
 	}
-	if j.State != Running {
-		return nil, fmt.Errorf("scheduler: job %d completed (%s) while %v", jobID, kind, j.State)
-	}
-	j.State = Done
-	j.EndTime = now
+	c.running = removeRunning(c.running, j)
 	c.pool.ReleaseAll(&j.grant)
 	j.pendingFree = 0
 	c.record(now, j, kind)

@@ -33,6 +33,15 @@
 //     expands beyond its home partition. A lock-free counter serves fit
 //     checks.
 //
+// Decision-making at resize points flows through the arbitration layer
+// (arbiter.go): each Contact assembles a ClusterSnapshot — idle pool,
+// priority/age-annotated queued window, lazy access to every running
+// job's profile — and hands it to an Arbiter. The default PolicyArbiter
+// narrows the snapshot to the published single-job RemapInput, pinned
+// bit-identical to the pre-arbiter path; package
+// internal/scheduler/arbiter provides the cluster-wide benefit-ranked
+// implementation (coordinated multi-job shrink, starvation aging).
+//
 // LinearCore preserves the pre-refactor single-counter, linear-scan design
 // behind the same Interface; differential tests hold the two engines to
 // identical schedules and BenchmarkSchedulerThroughput measures the gap.

@@ -21,10 +21,12 @@ type LinearCore struct {
 	Backfill bool
 	Policy   Policy
 
-	free   int
-	nextID int
-	queue  []*Job
-	jobs   map[int]*Job
+	arb     Arbiter
+	free    int
+	nextID  int
+	queue   []*Job
+	jobs    map[int]*Job
+	running []*Job // id-sorted index backing EachRunning
 
 	Events []AllocEvent
 
@@ -51,6 +53,13 @@ func (c *LinearCore) QueueLen() int { return len(c.queue) }
 
 // SetPolicy replaces the Remap Scheduler policy.
 func (c *LinearCore) SetPolicy(p Policy) { c.Policy = p }
+
+// SetArbiter installs a cluster-wide resize arbiter (nil restores the
+// default single-job policy path).
+func (c *LinearCore) SetArbiter(a Arbiter) { c.arb = a }
+
+// Arbiter returns the installed arbiter (nil for the default path).
+func (c *LinearCore) Arbiter() Arbiter { return c.arb }
 
 // AllocEvents returns the allocation trace.
 func (c *LinearCore) AllocEvents() []AllocEvent { return c.Events }
@@ -96,20 +105,9 @@ func (c *LinearCore) record(now float64, j *Job, kind string) {
 // Submit enqueues a job with a linear priority-insertion scan and
 // immediately tries to schedule the queue.
 func (c *LinearCore) Submit(spec JobSpec, now float64) (*Job, []*Job, error) {
-	if !spec.InitialTopo.IsValid() {
-		return nil, nil, fmt.Errorf("scheduler: job %q has invalid initial topology", spec.Name)
-	}
-	if spec.InitialTopo.Count() > c.Total {
-		return nil, nil, fmt.Errorf("scheduler: job %q needs %d processors, cluster has %d",
-			spec.Name, spec.InitialTopo.Count(), c.Total)
-	}
-	j := &Job{
-		ID:         c.nextID,
-		Spec:       spec,
-		State:      Queued,
-		Topo:       spec.InitialTopo,
-		Profile:    NewProfile(),
-		SubmitTime: now,
+	j, err := newJob(spec, c.nextID, c.Total, now)
+	if err != nil {
+		return nil, nil, err
 	}
 	c.nextID++
 	c.jobs[j.ID] = j
@@ -158,6 +156,7 @@ func (c *LinearCore) TrySchedule(now float64) []*Job {
 
 func (c *LinearCore) start(j *Job, now float64) {
 	j.State = Running
+	c.running = insertRunning(c.running, j)
 	j.StartTime = now
 	j.Topo = j.Spec.InitialTopo
 	c.free -= j.Topo.Count()
@@ -166,6 +165,9 @@ func (c *LinearCore) start(j *Job, now float64) {
 
 // queuedNeeds lists the processor requirements of every waiting job.
 func (c *LinearCore) queuedNeeds() []int {
+	if len(c.queue) == 0 {
+		return nil
+	}
 	needs := make([]int, len(c.queue))
 	for i, j := range c.queue {
 		needs[i] = j.Spec.InitialTopo.Count()
@@ -173,51 +175,68 @@ func (c *LinearCore) queuedNeeds() []int {
 	return needs
 }
 
+// queuedWindow lists every waiting job as an arbiter view. Unlike Core's
+// bounded window, the reference implementation materializes the whole
+// queue.
+func (c *LinearCore) queuedWindow(now float64) []QueuedView {
+	if len(c.queue) == 0 {
+		return nil
+	}
+	out := make([]QueuedView, len(c.queue))
+	for i, j := range c.queue {
+		out[i] = QueuedView{
+			ID:       j.ID,
+			Priority: j.Spec.Priority,
+			Need:     j.Spec.InitialTopo.Count(),
+			Wait:     now - j.SubmitTime,
+		}
+	}
+	return out
+}
+
+// EachRunning implements ClusterView (ascending job-id order).
+func (c *LinearCore) EachRunning(yield func(ContactView) bool) {
+	eachRunning(c.running, yield)
+}
+
+// snapshot assembles the arbiter's view of the cluster at a resize point.
+func (c *LinearCore) snapshot(j *Job, now float64) ClusterSnapshot {
+	return ClusterSnapshot{
+		Now:      now,
+		Total:    c.Total,
+		Idle:     c.free,
+		Caller:   contactView(j),
+		Queued:   c.queuedWindow(now),
+		QueueLen: len(c.queue),
+		Cluster:  c,
+	}
+}
+
 // Contact is the Remap Scheduler entry point (reference implementation).
 func (c *LinearCore) Contact(jobID int, topo grid.Topology, iterTime, redistTime float64, now float64) (Decision, error) {
-	j, ok := c.jobs[jobID]
-	if !ok {
-		return Decision{}, fmt.Errorf("scheduler: unknown job %d", jobID)
+	j, err := beginContact(c.jobs, jobID, topo, iterTime)
+	if err != nil {
+		return Decision{}, err
 	}
-	if j.State != Running {
-		return Decision{}, fmt.Errorf("scheduler: job %d contacted while %v", jobID, j.State)
+	var d Decision
+	if c.arb != nil {
+		d = c.arb.Decide(c.snapshot(j, now))
+	} else {
+		d = defaultDecide(c.Policy, j, c.free, c.queuedNeeds())
 	}
-	if topo != j.Topo {
-		return Decision{}, fmt.Errorf("scheduler: job %d reports topology %v, scheduler has %v",
-			jobID, topo, j.Topo)
-	}
-	j.Profile.RecordIteration(j.Topo, iterTime)
-
-	done := 0
-	for _, v := range j.Profile.Visits {
-		done += len(v.IterTimes)
-	}
-	pol := c.Policy
-	if pol == nil {
-		pol = PaperPolicy{}
-	}
-	d := pol.Decide(RemapInput{
-		Current:        j.Topo,
-		Chain:          j.Spec.Chain,
-		Profile:        j.Profile,
-		IdleProcs:      c.free,
-		QueuedNeeds:    c.queuedNeeds(),
-		RemainingIters: j.Spec.Iterations - done,
-	})
-	switch d.Action {
-	case ActionExpand:
-		delta := d.Target.Count() - j.Topo.Count()
-		c.free -= delta
-		j.resizeFrom = j.Topo
-		j.Topo = d.Target
-		c.record(now, j, "expand")
-	case ActionShrink:
-		j.pendingFree += j.Topo.Count() - d.Target.Count()
-		j.resizeFrom = j.Topo
-		j.Topo = d.Target
-		c.record(now, j, "shrink")
-	}
-	return d, nil
+	return applyDecision(j, d,
+		// Mirror Core's failed-grant degradation: an arbiter decision that
+		// outgrows the free counter comes back as ActionNone instead of
+		// driving the pool negative (unreachable for the fit-checked
+		// published policy).
+		func(delta int) bool {
+			if delta > c.free {
+				return false
+			}
+			c.free -= delta
+			return true
+		},
+		func(kind string) { c.record(now, j, kind) }), nil
 }
 
 // ResizeComplete confirms a granted resize (reference implementation).
@@ -226,12 +245,8 @@ func (c *LinearCore) ResizeComplete(jobID int, redistTime float64, now float64) 
 	if !ok {
 		return nil, fmt.Errorf("scheduler: unknown job %d", jobID)
 	}
-	if j.resizeFrom.IsValid() {
-		j.Profile.RecordRedist(j.resizeFrom, j.Topo, redistTime)
-		j.resizeFrom = grid.Topology{}
-	}
-	if j.pendingFree > 0 {
-		c.free += j.pendingFree
+	if freed := finishResize(j, redistTime); freed > 0 {
+		c.free += freed
 		j.pendingFree = 0
 		return c.TrySchedule(now), nil
 	}
@@ -249,15 +264,11 @@ func (c *LinearCore) Fail(jobID int, now float64) ([]*Job, error) {
 }
 
 func (c *LinearCore) complete(jobID int, now float64, kind string) ([]*Job, error) {
-	j, ok := c.jobs[jobID]
-	if !ok {
-		return nil, fmt.Errorf("scheduler: unknown job %d", jobID)
+	j, err := finishJob(c.jobs, jobID, now, kind)
+	if err != nil {
+		return nil, err
 	}
-	if j.State != Running {
-		return nil, fmt.Errorf("scheduler: job %d completed (%s) while %v", jobID, kind, j.State)
-	}
-	j.State = Done
-	j.EndTime = now
+	c.running = removeRunning(c.running, j)
 	c.free += j.Topo.Count() + j.pendingFree
 	j.pendingFree = 0
 	c.record(now, j, kind)

@@ -109,7 +109,7 @@ func Decide(in RemapInput) Decision {
 			return Decision{Action: ActionNone, Reason: "expansion not yet measured"}
 		}
 	}
-	next, ok := nextInChain(in.Chain, cur)
+	next, ok := NextInChain(in.Chain, cur)
 	if !ok {
 		return Decision{Action: ActionNone, Reason: "already at largest configuration"}
 	}
@@ -119,9 +119,10 @@ func Decide(in RemapInput) Decision {
 	return Decision{Action: ActionExpand, Target: next, Reason: "probing larger configuration"}
 }
 
-// nextInChain returns the smallest configuration in the chain strictly
-// larger than cur.
-func nextInChain(chain []grid.Topology, cur grid.Topology) (grid.Topology, bool) {
+// NextInChain returns the smallest configuration in the chain strictly
+// larger than cur — the expansion step the published policy probes, shared
+// with arbiter implementations.
+func NextInChain(chain []grid.Topology, cur grid.Topology) (grid.Topology, bool) {
 	for _, t := range chain {
 		if t.Count() > cur.Count() {
 			return t, true

@@ -125,16 +125,24 @@ func (q *jobQueue) bestFit(free int) *Job {
 }
 
 // needsWindow appends the processor needs of the first k queued jobs in
-// head order to dst. It walks the heap with a bounded frontier, so the cost
-// is O(k log k) regardless of queue length.
+// head order to dst.
 func (q *jobQueue) needsWindow(dst []int, k int) []int {
+	q.window(k, func(j *Job) { dst = append(dst, j.Spec.InitialTopo.Count()) })
+	return dst
+}
+
+// window visits the first k queued jobs in head order. It walks the heap
+// with a bounded frontier, so the cost is O(k log k) regardless of queue
+// length.
+func (q *jobQueue) window(k int, visit func(*Job)) {
 	if q.size == 0 || k <= 0 {
-		return dst
+		return
 	}
+	seen := 0
 	frontier := make([]int, 0, 2*k)
 	frontier = append(frontier, 0)
 	h := q.order.h
-	for len(frontier) > 0 && len(dst) < k {
+	for len(frontier) > 0 && seen < k {
 		// Extract the frontier's minimum heap index.
 		mi := 0
 		for i := 1; i < len(frontier); i++ {
@@ -145,7 +153,8 @@ func (q *jobQueue) needsWindow(dst []int, k int) []int {
 		idx := frontier[mi]
 		frontier = append(frontier[:mi], frontier[mi+1:]...)
 		if h[idx].State == Queued {
-			dst = append(dst, h[idx].Spec.InitialTopo.Count())
+			visit(h[idx])
+			seen++
 		}
 		if l := 2*idx + 1; l < len(h) {
 			frontier = append(frontier, l)
@@ -154,7 +163,6 @@ func (q *jobQueue) needsWindow(dst []int, k int) []int {
 			frontier = append(frontier, r)
 		}
 	}
-	return dst
 }
 
 // jobHeap is a binary min-heap of queued jobs under jobLess with lazy

@@ -14,15 +14,16 @@ const AllJobs = -1
 // JobInfo is a point-in-time job snapshot, the typed replacement for the
 // ad-hoc status tuples the v1 wire protocol leaked to callers.
 type JobInfo struct {
-	ID     int
-	Name   string
-	App    string
-	State  string
-	Topo   grid.Topology
-	Procs  int
-	Submit float64
-	Start  float64
-	End    float64
+	ID       int
+	Name     string
+	App      string
+	State    string
+	Priority int
+	Topo     grid.Topology
+	Procs    int
+	Submit   float64
+	Start    float64
+	End      float64
 }
 
 // ClusterStatus is the scheduler snapshot returned by Status: pool
@@ -125,7 +126,7 @@ func (s *Server) Status(ctx context.Context) (ClusterStatus, error) {
 		}
 		st.Jobs = append(st.Jobs, JobInfo{
 			ID: j.ID, Name: j.Spec.Name, App: j.Spec.App, State: j.State.String(),
-			Topo: j.Topo, Procs: procs,
+			Priority: j.Spec.Priority, Topo: j.Topo, Procs: procs,
 			Submit: j.SubmitTime, Start: j.StartTime, End: j.EndTime,
 		})
 	}

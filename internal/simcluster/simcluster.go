@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/grid"
 	"repro/internal/perfmodel"
 	"repro/internal/scheduler"
 )
@@ -69,6 +70,10 @@ type JobResult struct {
 // Turnaround is completion time minus submission time.
 func (j JobResult) Turnaround() float64 { return j.End - j.Submit }
 
+// QueueWait is start time minus submission time: how long the job sat in
+// the wait queue before receiving processors.
+func (j JobResult) QueueWait() float64 { return j.Start - j.Submit }
+
 // ComputeTime is the sum of iteration times (excluding redistribution).
 func (j JobResult) ComputeTime() float64 {
 	s := 0.0
@@ -88,16 +93,42 @@ type Result struct {
 	Utilization float64 // fraction of available cpu-seconds assigned to jobs
 }
 
+// MeanQueueWait averages start-minus-submit over all jobs — the headline
+// metric of the FCFS-vs-arbiter comparison.
+func (r *Result) MeanQueueWait() float64 {
+	if len(r.Jobs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, j := range r.Jobs {
+		s += j.QueueWait()
+	}
+	return s / float64(len(r.Jobs))
+}
+
+// MeanTurnaround averages completion-minus-submit over all jobs.
+func (r *Result) MeanTurnaround() float64 {
+	if len(r.Jobs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, j := range r.Jobs {
+		s += j.Turnaround()
+	}
+	return s / float64(len(r.Jobs))
+}
+
 // Sim runs one simulation. Virtual time is driven by the scheduler's own
 // event engine (scheduler.Engine): arrivals, resize points and resize
 // completions are all timestamped events in one deterministic loop.
 type Sim struct {
-	total  int
-	mode   Mode
-	params *perfmodel.Params
-	core   scheduler.Interface
-	policy scheduler.Policy
-	eng    *scheduler.Engine
+	total   int
+	mode    Mode
+	params  *perfmodel.Params
+	core    scheduler.Interface
+	policy  scheduler.Policy
+	arbiter scheduler.Arbiter
+	eng     *scheduler.Engine
 
 	inputs  []JobInput
 	byID    map[int]*jobState
@@ -129,9 +160,20 @@ func New(total int, mode Mode, params *perfmodel.Params, jobs []JobInput) *Sim {
 // WithPolicy overrides the Remap Scheduler policy for this simulation (used
 // by the policy ablation experiments); the default is the paper's policy.
 // The override is applied to the core at Run, whichever of WithPolicy and
-// WithCore is called first.
+// WithCore is called first. An arbiter installed via WithArbiter replaces
+// the core's policy path entirely — combine a custom policy with
+// arbiter.BenefitRanked through its Policy field, not this option.
 func (s *Sim) WithPolicy(p scheduler.Policy) *Sim {
 	s.policy = p
+	return s
+}
+
+// WithArbiter installs a cluster-wide resize arbiter on the simulation's
+// core at Run (e.g. arbiter.BenefitRanked); the default is the single-job
+// policy path, which reproduces the published FCFS Contact behavior. With
+// an arbiter installed, WithPolicy has no effect (see WithPolicy).
+func (s *Sim) WithArbiter(a scheduler.Arbiter) *Sim {
+	s.arbiter = a
 	return s
 }
 
@@ -143,6 +185,29 @@ func (s *Sim) WithCore(core scheduler.Interface) *Sim {
 	return s
 }
 
+// Predictor builds a perfmodel-backed iteration-time predictor for a job
+// mix, suitable for arbiter.BenefitRanked.Predict: job ids are resolved to
+// their AppModels by arrival order, matching the ids the simulation will
+// assign at submission.
+func Predictor(params *perfmodel.Params, jobs []JobInput) func(jobID int, t grid.Topology) (float64, bool) {
+	arrivals := append([]JobInput{}, jobs...)
+	sort.SliceStable(arrivals, func(i, j int) bool { return arrivals[i].Arrival < arrivals[j].Arrival })
+	models := make([]perfmodel.AppModel, len(arrivals))
+	for i, in := range arrivals {
+		models[i] = in.Model
+	}
+	return func(jobID int, t grid.Topology) (float64, bool) {
+		if jobID < 0 || jobID >= len(models) {
+			return 0, false
+		}
+		sec, err := params.IterTime(models[jobID], t)
+		if err != nil {
+			return 0, false
+		}
+		return sec, true
+	}
+}
+
 // Run executes the simulation to completion and returns the result.
 func (s *Sim) Run() (*Result, error) {
 	if s.core == nil {
@@ -150,6 +215,9 @@ func (s *Sim) Run() (*Result, error) {
 	}
 	if s.policy != nil {
 		s.core.SetPolicy(s.policy)
+	}
+	if s.arbiter != nil {
+		s.core.SetArbiter(s.arbiter)
 	}
 	arrivals := append([]JobInput{}, s.inputs...)
 	sort.SliceStable(arrivals, func(i, j int) bool { return arrivals[i].Arrival < arrivals[j].Arrival })

@@ -18,6 +18,11 @@ type GenConfig struct {
 	MeanInterarrival float64 // seconds between submissions (exponential)
 	MaxProcs         int     // configuration chains are capped here
 	Iterations       int     // outer iterations per job (default 10)
+	// PriorityLevels > 1 assigns each job a uniform random priority in
+	// [0, PriorityLevels): higher-priority jobs queue ahead and win
+	// arbitration ties. The default (0 or 1) leaves every job at priority
+	// 0, preserving the plain-FCFS mixes byte for byte.
+	PriorityLevels int
 }
 
 // luSizePool are the Table 2 problem sizes the generator draws from.
@@ -74,6 +79,9 @@ func Generate(cfg GenConfig) ([]simcluster.JobInput, error) {
 				evens(2, min(22, cfg.MaxProcs)), 0,
 				perfmodel.AppModel{App: "mw", MWWorkSeconds: work})
 			in.Spec.Iterations = cfg.Iterations
+		}
+		if cfg.PriorityLevels > 1 {
+			in.Spec.Priority = rng.Intn(cfg.PriorityLevels)
 		}
 		in.Arrival = arrival
 		jobs = append(jobs, in)
