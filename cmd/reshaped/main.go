@@ -7,11 +7,20 @@
 // protocol and the multiplexed rpc/v2 protocol with streaming job watches
 // (see internal/rpc), negotiated per connection from its first byte.
 //
+// With -wal-dir set the control plane is durable: every scheduler input is
+// journaled to a write-ahead log before it is acknowledged, snapshots are
+// taken every -snapshot-every records, and a restarted daemon replays the
+// directory to resume with every queued and running job intact (see
+// internal/durability). Recovered running jobs are relaunched on their
+// recovered allocations; rpc/v2 clients reconnect and resubscribe their
+// watches on their own.
+//
 // Usage:
 //
 //	reshaped -addr 127.0.0.1:7077 -procs 16 -backfill
 //	reshaped -procs 1024 -shards 16    # sharded pool for large clusters
 //	reshaped -procs 64 -arbiter benefit  # cluster-wide benefit-ranked arbitration
+//	reshaped -procs 64 -wal-dir /var/lib/reshaped  # durable control plane
 //
 // Submit jobs with reshape-submit.
 package main
@@ -25,6 +34,7 @@ import (
 	"os/signal"
 
 	"repro/internal/apps"
+	"repro/internal/durability"
 	"repro/internal/rpc"
 	"repro/internal/scheduler"
 	"repro/internal/scheduler/arbiter"
@@ -38,56 +48,114 @@ func main() {
 	shards := flag.Int("shards", 0, "processor-pool shard count (0 = one shard per 64 processors)")
 	arb := flag.String("arbiter", "fcfs",
 		"resize arbitration: fcfs (published single-job policy) or benefit (cluster-wide benefit ranking with priorities, aging and coordinated shrink)")
+	walDir := flag.String("wal-dir", "",
+		"write-ahead-log directory for a durable control plane (empty = volatile scheduler state)")
+	snapshotEvery := flag.Uint64("snapshot-every", 10000,
+		"snapshot the scheduler state and truncate the log every N journaled records (0 = never)")
+	walSync := flag.String("wal-sync", "always",
+		"journal fsync policy: always (no acknowledged op can be lost), interval (batched, bounded loss window on machine crash) or none (page-cache only)")
 	flag.Parse()
 
 	if *shards <= 0 {
 		*shards = scheduler.DefaultShards(*procs)
 	}
-	core := scheduler.NewCoreSharded(*procs, *shards, *backfill)
-	switch *arb {
-	case "fcfs":
-		// The default single-job policy path.
-	case "benefit":
-		core.SetArbiter(&arbiter.BenefitRanked{})
-	default:
-		fmt.Fprintf(os.Stderr, "reshaped: unknown -arbiter %q (want fcfs or benefit)\n", *arb)
-		os.Exit(2)
+	// The arbiter is configuration, not journaled state: a recovering
+	// daemon must install the same arbitration the previous process ran
+	// before any journal record replays through the core.
+	configure := func(core *scheduler.Core) error {
+		switch *arb {
+		case "fcfs":
+			// The default single-job policy path.
+			return nil
+		case "benefit":
+			core.SetArbiter(&arbiter.BenefitRanked{})
+			return nil
+		default:
+			return fmt.Errorf("reshaped: unknown -arbiter %q (want fcfs or benefit)", *arb)
+		}
 	}
-	var srv *scheduler.Server
-	srv = scheduler.NewServerCore(core, func(j *scheduler.Job) {
-		cfg := apps.Config{
-			App:        j.Spec.App,
-			N:          j.Spec.ProblemSize,
-			NB:         j.Spec.BlockSize,
-			Iterations: j.Spec.Iterations,
+
+	var (
+		core  *scheduler.Core
+		srv   *scheduler.Server
+		store *durability.Store
+	)
+	starter := func(j *scheduler.Job) { startJob(srv, j) }
+
+	if *walDir == "" {
+		core = scheduler.NewCoreSharded(*procs, *shards, *backfill)
+		if err := configure(core); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
 		}
-		if cfg.NB <= 0 {
-			cfg.NB = 2
+		srv = scheduler.NewServerCore(core, starter)
+	} else {
+		policy, err := durability.ParseSyncPolicy(*walSync)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reshaped: %v\n", err)
+			os.Exit(2)
 		}
-		log.Printf("starting job %d (%s) on %v", j.ID, j.Spec.Name, j.Topo)
-		// The job runs through the application SDK; its lifecycle events
-		// surface the resize trajectory in the daemon log.
-		logger := sdk.Logger(func(ev sdk.Event) {
-			if ev.Kind == sdk.EventResize {
-				log.Printf("job %d (%s) resized %v -> %v (%.4fs redistribution)",
-					j.ID, j.Spec.Name, ev.From, ev.Topo, ev.Seconds)
-			}
+		st, rec, err := durability.Open(*walDir, durability.Options{
+			SnapshotEvery: *snapshotEvery,
+			Sync:          policy,
+			// core and srv are both assigned below, before the journal hook
+			// (and therefore Capture) can run.
+			Capture: func() (*scheduler.CoreState, uint64) { return core.PersistState(), srv.Seq() },
+			Logf:    log.Printf,
 		})
-		if err := apps.Launch(srv, j.ID, j.Topo, cfg, sdk.WithLogger(logger)); err != nil {
-			log.Printf("job %d failed: %v", j.ID, err)
-			_ = srv.JobError(context.Background(), j.ID)
-			return
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reshaped: open wal: %v\n", err)
+			os.Exit(1)
 		}
-		log.Printf("job %d (%s) finished", j.ID, j.Spec.Name)
-	})
+		store = st
+		if rec.TornTail {
+			log.Printf("reshaped: discarded a torn (never acknowledged) record at the log tail")
+		}
+		recovered, info, err := rec.Restore(func(cs *scheduler.CoreState) (*scheduler.Core, error) {
+			var c *scheduler.Core
+			if cs == nil {
+				c = scheduler.NewCoreSharded(*procs, *shards, *backfill)
+			} else {
+				var err error
+				if c, err = scheduler.NewCoreFromState(cs); err != nil {
+					return nil, err
+				}
+				if cs.Total != *procs {
+					log.Printf("reshaped: recovered pool has %d processors; ignoring -procs %d", cs.Total, *procs)
+				}
+			}
+			return c, configure(c)
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reshaped: recover wal: %v\n", err)
+			os.Exit(1)
+		}
+		core = recovered
+		core.SetJournal(store.Append)
+		srv = scheduler.NewServerRecovered(core, info.Seq, info.Clock, starter)
+		if info.Recovered {
+			log.Printf("reshaped: recovered %d job(s) from %s (%d record(s) replayed, clock %.3fs)",
+				info.Jobs, *walDir, info.Replayed, info.Clock)
+			// This daemon runs its jobs in-process, so the previous
+			// process's workers died with it: relaunch every recovered
+			// running job on its recovered allocation.
+			for _, j := range srv.RelaunchRunning() {
+				log.Printf("reshaped: relaunched job %d (%s) on %v", j.ID, j.Spec.Name, j.Topo)
+			}
+		}
+	}
 
 	rpcSrv, err := rpc.Serve(*addr, srv, rpc.WithLogf(log.Printf))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	log.Printf("reshaped: %d processors in %d pool shard(s), %s arbitration, listening on %s (rpc v1+v2)",
-		*procs, core.Pool().NumShards(), *arb, rpcSrv.Addr())
+	durable := "volatile"
+	if store != nil {
+		durable = fmt.Sprintf("wal %s (snapshot every %d, fsync %s)", *walDir, *snapshotEvery, *walSync)
+	}
+	log.Printf("reshaped: %d processors in %d pool shard(s), %s arbitration, %s, listening on %s (rpc v1+v2)",
+		core.Total, core.Pool().NumShards(), *arb, durable, rpcSrv.Addr())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
@@ -96,4 +164,37 @@ func main() {
 	log.Printf("reshaped: shutting down (%d v1 conns, %d v2 conns, %d requests, %d watches, %d malformed)",
 		st.V1Conns, st.V2Conns, st.Requests, st.Watches, st.Malformed)
 	_ = rpcSrv.Close()
+	if store != nil {
+		if err := store.Close(); err != nil {
+			log.Printf("reshaped: close wal: %v", err)
+		}
+	}
+}
+
+// startJob launches one allocated job through the application SDK.
+func startJob(srv *scheduler.Server, j *scheduler.Job) {
+	cfg := apps.Config{
+		App:        j.Spec.App,
+		N:          j.Spec.ProblemSize,
+		NB:         j.Spec.BlockSize,
+		Iterations: j.Spec.Iterations,
+	}
+	if cfg.NB <= 0 {
+		cfg.NB = 2
+	}
+	log.Printf("starting job %d (%s) on %v", j.ID, j.Spec.Name, j.Topo)
+	// The job runs through the application SDK; its lifecycle events
+	// surface the resize trajectory in the daemon log.
+	logger := sdk.Logger(func(ev sdk.Event) {
+		if ev.Kind == sdk.EventResize {
+			log.Printf("job %d (%s) resized %v -> %v (%.4fs redistribution)",
+				j.ID, j.Spec.Name, ev.From, ev.Topo, ev.Seconds)
+		}
+	})
+	if err := apps.Launch(srv, j.ID, j.Topo, cfg, sdk.WithLogger(logger)); err != nil {
+		log.Printf("job %d failed: %v", j.ID, err)
+		_ = srv.JobError(context.Background(), j.ID)
+		return
+	}
+	log.Printf("job %d (%s) finished", j.ID, j.Spec.Name)
 }

@@ -1,0 +1,98 @@
+package durability
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/scheduler"
+	"repro/internal/workload"
+)
+
+// benchQueuedJobs is the recovery-scale target: a daemon killed with 100k
+// jobs on the books must come back.
+const benchQueuedJobs = 100_000
+
+// seedBenchLog journals benchQueuedJobs submissions (nearly all of which
+// queue: the pool holds 36 processors and every job wants 4) into dir,
+// optionally finishing with one snapshot so recovery is snapshot-dominated
+// instead of replay-dominated.
+func seedBenchLog(b *testing.B, dir string, snapshot bool) {
+	b.Helper()
+	core := scheduler.NewCore(workload.ClusterProcs, true)
+	core.DisableTrace() // a 100k-event trace isn't what's being measured
+	st, _, err := Open(dir, Options{
+		Sync:    SyncNone,
+		Capture: func() (*scheduler.CoreState, uint64) { return core.PersistState(), 0 },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	core.SetJournal(st.Append)
+	chain := []grid.Topology{{Rows: 2, Cols: 2}, {Rows: 2, Cols: 4}, {Rows: 4, Cols: 4}}
+	for i := 0; i < benchQueuedJobs; i++ {
+		spec := scheduler.JobSpec{
+			Name: fmt.Sprintf("job-%d", i), App: "jacobi", ProblemSize: 8000,
+			Iterations: 10, InitialTopo: chain[0], Chain: chain,
+		}
+		if _, _, err := core.Submit(spec, float64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if snapshot {
+		if err := st.Snapshot(float64(benchQueuedJobs)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchRecover measures one full recovery — Open (scan, read, decode) plus
+// Restore (rebuild/replay) — from the seeded directory.
+func benchRecover(b *testing.B, dir string) {
+	for i := 0; i < b.N; i++ {
+		st, rec, err := Open(dir, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		core, info, err := rec.Restore(func(cs *scheduler.CoreState) (*scheduler.Core, error) {
+			if cs == nil {
+				c := scheduler.NewCore(workload.ClusterProcs, true)
+				c.DisableTrace()
+				return c, nil
+			}
+			return scheduler.NewCoreFromState(cs)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if info.Jobs != benchQueuedJobs {
+			b.Fatalf("recovered %d jobs, want %d", info.Jobs, benchQueuedJobs)
+		}
+		if core.QueueLen() == 0 {
+			b.Fatal("recovered an empty queue")
+		}
+		st.Close()
+	}
+	b.ReportMetric(float64(benchQueuedJobs)/1000, "kjobs")
+}
+
+// BenchmarkRecovery measures cold-start recovery of a scheduler with 100k
+// queued jobs, both replay-only (pure log, the worst case) and
+// snapshot-dominated (the steady-state case with a sane cadence).
+func BenchmarkRecovery(b *testing.B) {
+	b.Run("replay-100k", func(b *testing.B) {
+		dir := b.TempDir()
+		seedBenchLog(b, dir, false)
+		b.ResetTimer()
+		benchRecover(b, dir)
+	})
+	b.Run("snapshot-100k", func(b *testing.B) {
+		dir := b.TempDir()
+		seedBenchLog(b, dir, true)
+		b.ResetTimer()
+		benchRecover(b, dir)
+	})
+}

@@ -1,0 +1,36 @@
+// Package durability makes the ReSHAPE control plane restartable: it
+// journals every scheduler input to a length-prefixed, checksummed
+// write-ahead log, persists periodic snapshots of the scheduler state
+// machine (with log truncation), and replays both on startup so a crashed
+// or restarted reshaped daemon resumes with every queued and running job
+// intact.
+//
+// The design leans entirely on the determinism of the scheduler core
+// (internal/scheduler): a Core is a deterministic state machine over five
+// input operations, so recovery is "restore the newest snapshot, then
+// re-apply the journaled tail" — and recovery *correctness* is testable by
+// replaying identical traces and requiring bit-identical state, not argued
+// informally.
+//
+// Layout of a WAL directory:
+//
+//	wal-00000000000000000000.log   records [0, n) — one frame per op
+//	wal-00000000000000001000.log   records [1000, …) after a snapshot
+//	snap-00000000000000001000.snap state covering records [0, 1000)
+//
+// Each log frame is
+//
+//	uvarint payload-length | uint32 CRC32C(payload) LE | payload
+//
+// and each payload is one scheduler.Op in a compact self-contained binary
+// encoding (no per-stream codec state, so any suffix of a log replays
+// after a snapshot). A torn final frame — the signature of a crash mid
+// append — is detected by the length prefix or checksum and safely
+// discarded; corruption anywhere earlier is refused with a typed error
+// rather than silently skipped.
+//
+// Ordering is write-ahead: the scheduler journals each validated input
+// before applying it (see scheduler.SetJournal), and an operation is
+// acknowledged only after both. A crash therefore loses at most inputs
+// that were never acknowledged; everything acknowledged replays.
+package durability

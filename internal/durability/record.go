@@ -1,0 +1,325 @@
+package durability
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"repro/internal/grid"
+	"repro/internal/scheduler"
+)
+
+// Typed decode failures. The WAL reader distinguishes a *torn tail* (the
+// partial final frame a crash mid-append leaves behind — expected, safely
+// discarded) from *corruption* (damage anywhere that cannot be explained
+// by a torn write — never silently skipped).
+var (
+	// ErrTornTail marks an incomplete or checksum-failing final frame. The
+	// reader discards it; every preceding record is intact.
+	ErrTornTail = errors.New("durability: torn record at log tail")
+	// ErrCorrupt marks damage that a torn final write cannot explain: a
+	// checksum failure or invalid length prefix with further data behind it.
+	ErrCorrupt = errors.New("durability: corrupt write-ahead log")
+	// ErrBadRecord marks a frame whose checksum is valid but whose payload
+	// does not decode as a scheduler op (version skew or a writer bug).
+	ErrBadRecord = errors.New("durability: malformed record payload")
+)
+
+// maxRecordSize bounds one frame's payload. Real records are tens of
+// bytes plus the job spec's strings and chain; the cap keeps a corrupt
+// length prefix from driving a huge allocation.
+const maxRecordSize = 1 << 20
+
+// Caps inside one payload, each far above anything the scheduler produces
+// but small enough to bound decoder allocations.
+const (
+	maxStringLen = 1 << 16
+	maxChainLen  = 1 << 16
+)
+
+// appendUint appends a uvarint.
+func appendUint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+// appendInt appends a zigzag varint.
+func appendInt(dst []byte, v int) []byte {
+	return binary.AppendVarint(dst, int64(v))
+}
+
+// appendFloat appends a float64 as its fixed 8-byte IEEE-754 bits.
+func appendFloat(dst []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+// appendString appends a uvarint length followed by the bytes.
+func appendString(dst []byte, s string) []byte {
+	dst = appendUint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// appendTopo appends a topology as two zigzag varints.
+func appendTopo(dst []byte, t grid.Topology) []byte {
+	dst = appendInt(dst, t.Rows)
+	return appendInt(dst, t.Cols)
+}
+
+// appendOp encodes one scheduler op as a self-contained payload.
+func appendOp(dst []byte, op scheduler.Op) []byte {
+	dst = append(dst, byte(op.Kind))
+	dst = appendFloat(dst, op.Now)
+	switch op.Kind {
+	case scheduler.OpSubmit:
+		sp := op.Spec
+		dst = appendString(dst, sp.Name)
+		dst = appendString(dst, sp.App)
+		dst = appendInt(dst, sp.ProblemSize)
+		dst = appendInt(dst, sp.BlockSize)
+		dst = appendInt(dst, sp.Iterations)
+		dst = appendInt(dst, sp.Priority)
+		dst = appendTopo(dst, sp.InitialTopo)
+		dst = appendUint(dst, uint64(len(sp.Chain)))
+		for _, t := range sp.Chain {
+			dst = appendTopo(dst, t)
+		}
+	case scheduler.OpContact:
+		dst = appendInt(dst, op.JobID)
+		dst = appendTopo(dst, op.Topo)
+		dst = appendFloat(dst, op.IterTime)
+		dst = appendFloat(dst, op.RedistTime)
+	case scheduler.OpResizeComplete:
+		dst = appendInt(dst, op.JobID)
+		dst = appendFloat(dst, op.RedistTime)
+	case scheduler.OpFinish, scheduler.OpFail:
+		dst = appendInt(dst, op.JobID)
+	}
+	return dst
+}
+
+// decoder walks one payload with bounds-checked reads; every failure is a
+// typed ErrBadRecord so arbitrary bytes can never panic the replay path.
+type decoder struct {
+	b   []byte
+	off int
+}
+
+func (d *decoder) fail(what string) error {
+	return fmt.Errorf("%w: %s at offset %d", ErrBadRecord, what, d.off)
+}
+
+func (d *decoder) byte() (byte, error) {
+	if d.off >= len(d.b) {
+		return 0, d.fail("truncated byte")
+	}
+	v := d.b[d.off]
+	d.off++
+	return v, nil
+}
+
+func (d *decoder) uint() (uint64, error) {
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		return 0, d.fail("bad uvarint")
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *decoder) int() (int, error) {
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		return 0, d.fail("bad varint")
+	}
+	if int64(int(v)) != v {
+		// Only reachable on a 32-bit platform; spec fields like the
+		// master-worker's ProblemSize legitimately exceed int32.
+		return 0, d.fail("integer out of range")
+	}
+	d.off += n
+	return int(v), nil
+}
+
+func (d *decoder) float() (float64, error) {
+	if d.off+8 > len(d.b) {
+		return 0, d.fail("truncated float")
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.b[d.off:]))
+	d.off += 8
+	return v, nil
+}
+
+func (d *decoder) string() (string, error) {
+	n, err := d.uint()
+	if err != nil {
+		return "", err
+	}
+	if n > maxStringLen || d.off+int(n) > len(d.b) {
+		return "", d.fail("bad string length")
+	}
+	s := string(d.b[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s, nil
+}
+
+func (d *decoder) topo() (grid.Topology, error) {
+	r, err := d.int()
+	if err != nil {
+		return grid.Topology{}, err
+	}
+	c, err := d.int()
+	if err != nil {
+		return grid.Topology{}, err
+	}
+	return grid.Topology{Rows: r, Cols: c}, nil
+}
+
+// decodeOp decodes one payload produced by appendOp. It returns
+// ErrBadRecord (wrapped with position detail) on any malformation and
+// never panics, whatever the input.
+func decodeOp(payload []byte) (scheduler.Op, error) {
+	d := &decoder{b: payload}
+	var op scheduler.Op
+	k, err := d.byte()
+	if err != nil {
+		return op, err
+	}
+	op.Kind = scheduler.OpKind(k)
+	if op.Now, err = d.float(); err != nil {
+		return op, err
+	}
+	switch op.Kind {
+	case scheduler.OpSubmit:
+		sp := &op.Spec
+		if sp.Name, err = d.string(); err != nil {
+			return op, err
+		}
+		if sp.App, err = d.string(); err != nil {
+			return op, err
+		}
+		if sp.ProblemSize, err = d.int(); err != nil {
+			return op, err
+		}
+		if sp.BlockSize, err = d.int(); err != nil {
+			return op, err
+		}
+		if sp.Iterations, err = d.int(); err != nil {
+			return op, err
+		}
+		if sp.Priority, err = d.int(); err != nil {
+			return op, err
+		}
+		if sp.InitialTopo, err = d.topo(); err != nil {
+			return op, err
+		}
+		n, err := d.uint()
+		if err != nil {
+			return op, err
+		}
+		// Each chain entry is at least two bytes, so n is also bounded by
+		// the remaining payload — reject before allocating.
+		if n > maxChainLen || int(n) > (len(d.b)-d.off)/2 {
+			return op, d.fail("bad chain length")
+		}
+		if n > 0 {
+			sp.Chain = make([]grid.Topology, n)
+			for i := range sp.Chain {
+				if sp.Chain[i], err = d.topo(); err != nil {
+					return op, err
+				}
+			}
+		}
+	case scheduler.OpContact:
+		if op.JobID, err = d.int(); err != nil {
+			return op, err
+		}
+		if op.Topo, err = d.topo(); err != nil {
+			return op, err
+		}
+		if op.IterTime, err = d.float(); err != nil {
+			return op, err
+		}
+		if op.RedistTime, err = d.float(); err != nil {
+			return op, err
+		}
+	case scheduler.OpResizeComplete:
+		if op.JobID, err = d.int(); err != nil {
+			return op, err
+		}
+		if op.RedistTime, err = d.float(); err != nil {
+			return op, err
+		}
+	case scheduler.OpFinish, scheduler.OpFail:
+		if op.JobID, err = d.int(); err != nil {
+			return op, err
+		}
+	default:
+		return op, d.fail(fmt.Sprintf("unknown op kind %d", k))
+	}
+	if d.off != len(d.b) {
+		return op, d.fail("trailing bytes")
+	}
+	return op, nil
+}
+
+// appendFrame wraps one payload in the on-disk frame format:
+// uvarint length | uint32 CRC32C little-endian | payload.
+func appendFrame(dst, payload []byte) []byte {
+	dst = appendUint(dst, uint64(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, crcTable))
+	return append(dst, payload...)
+}
+
+// crcTable is the Castagnoli polynomial (hardware-accelerated CRC32C).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// decodeFrames parses a segment's byte image into ops. It returns the
+// decoded prefix, the byte length of that intact prefix, and the
+// terminal condition:
+//
+//   - nil: the segment ends exactly on a frame boundary;
+//   - ErrTornTail: a final partial or checksum-failing frame was
+//     discarded (good marks where the intact prefix ends, so the caller
+//     can truncate the tail away);
+//   - ErrCorrupt: damage with further frames behind it — a torn write
+//     cannot produce this, so the log is refused;
+//   - ErrBadRecord: a checksummed frame whose payload doesn't decode.
+func decodeFrames(b []byte) (ops []scheduler.Op, good int, err error) {
+	off := 0
+	for off < len(b) {
+		n, sz := binary.Uvarint(b[off:])
+		if sz == 0 {
+			// The buffer ends inside the length prefix: a torn header.
+			return ops, off, fmt.Errorf("%w: truncated length prefix at offset %d", ErrTornTail, off)
+		}
+		if sz < 0 || n == 0 || n > maxRecordSize {
+			// A writer never produces these; if this garbage is simply the
+			// start of a torn final write it must be short, otherwise it is
+			// corruption proper.
+			if len(b)-off <= binary.MaxVarintLen64+4 {
+				return ops, off, fmt.Errorf("%w: unparseable length prefix at offset %d", ErrTornTail, off)
+			}
+			return ops, off, fmt.Errorf("%w: invalid length prefix at offset %d", ErrCorrupt, off)
+		}
+		frameEnd := off + sz + 4 + int(n)
+		if frameEnd > len(b) {
+			return ops, off, fmt.Errorf("%w: frame at offset %d runs past end of log", ErrTornTail, off)
+		}
+		want := binary.LittleEndian.Uint32(b[off+sz:])
+		payload := b[off+sz+4 : frameEnd]
+		if crc32.Checksum(payload, crcTable) != want {
+			if frameEnd == len(b) {
+				return ops, off, fmt.Errorf("%w: checksum mismatch on final frame at offset %d", ErrTornTail, off)
+			}
+			return ops, off, fmt.Errorf("%w: checksum mismatch at offset %d", ErrCorrupt, off)
+		}
+		op, err := decodeOp(payload)
+		if err != nil {
+			return ops, off, fmt.Errorf("record %d: %w", len(ops), err)
+		}
+		ops = append(ops, op)
+		off = frameEnd
+	}
+	return ops, off, nil
+}

@@ -7,20 +7,6 @@ import (
 	"repro/internal/grid"
 )
 
-// cloneProfile deep-copies a profile so the reference decision below can
-// record the pending iteration without touching live scheduler state.
-func cloneProfile(p *Profile) *Profile {
-	cp := NewProfile()
-	cp.Visits = make([]Visit, len(p.Visits))
-	for i, v := range p.Visits {
-		cp.Visits[i] = Visit{Topo: v.Topo, IterTimes: append([]float64{}, v.IterTimes...)}
-	}
-	for k, v := range p.Redist {
-		cp.Redist[k] = v
-	}
-	return cp
-}
-
 // referenceDecision is the pre-arbiter Contact decision path verbatim (PR
 // 1): record the iteration on the profile, count completed iterations,
 // build the RemapInput from the core's idle pool and queued-needs window,

@@ -57,9 +57,11 @@ func contactView(j *Job) ContactView {
 	}
 }
 
-// beginContact validates a contact_scheduler call and records the reported
-// iteration time in the job's performance profile.
-func beginContact(jobs map[int]*Job, jobID int, topo grid.Topology, iterTime float64) (*Job, error) {
+// validateContact checks a contact_scheduler call without touching any
+// state, so journaling cores can persist the op between validation and
+// the profile mutation (only valid ops reach the journal; replay can
+// therefore treat an op that fails to re-apply as corruption).
+func validateContact(jobs map[int]*Job, jobID int, topo grid.Topology) (*Job, error) {
 	j, ok := jobs[jobID]
 	if !ok {
 		return nil, fmt.Errorf("scheduler: unknown job %d", jobID)
@@ -70,6 +72,16 @@ func beginContact(jobs map[int]*Job, jobID int, topo grid.Topology, iterTime flo
 	if topo != j.Topo {
 		return nil, fmt.Errorf("scheduler: job %d reports topology %v, scheduler has %v",
 			jobID, topo, j.Topo)
+	}
+	return j, nil
+}
+
+// beginContact validates a contact_scheduler call and records the reported
+// iteration time in the job's performance profile.
+func beginContact(jobs map[int]*Job, jobID int, topo grid.Topology, iterTime float64) (*Job, error) {
+	j, err := validateContact(jobs, jobID, topo)
+	if err != nil {
+		return nil, err
 	}
 	j.Profile.RecordIteration(j.Topo, iterTime)
 	return j, nil
@@ -166,16 +178,26 @@ func finishResize(j *Job, redistTime float64) int {
 	return j.pendingFree
 }
 
-// finishJob validates a completion signal and transitions the job to Done.
-// The caller releases the job's processors afterwards (pool layouts differ
-// between cores).
-func finishJob(jobs map[int]*Job, jobID int, now float64, kind string) (*Job, error) {
+// validateFinish checks a completion signal without mutating the job, the
+// journaling counterpart of validateContact.
+func validateFinish(jobs map[int]*Job, jobID int, kind string) (*Job, error) {
 	j, ok := jobs[jobID]
 	if !ok {
 		return nil, fmt.Errorf("scheduler: unknown job %d", jobID)
 	}
 	if j.State != Running {
 		return nil, fmt.Errorf("scheduler: job %d completed (%s) while %v", jobID, kind, j.State)
+	}
+	return j, nil
+}
+
+// finishJob validates a completion signal and transitions the job to Done.
+// The caller releases the job's processors afterwards (pool layouts differ
+// between cores).
+func finishJob(jobs map[int]*Job, jobID int, now float64, kind string) (*Job, error) {
+	j, err := validateFinish(jobs, jobID, kind)
+	if err != nil {
+		return nil, err
 	}
 	j.State = Done
 	j.EndTime = now

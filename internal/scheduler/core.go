@@ -115,11 +115,14 @@ type Core struct {
 	// installs a cluster-wide one.
 	Policy Policy
 
-	arb    Arbiter
-	pool   *Pool
-	nextID int
-	queue  jobQueue
-	jobs   map[int]*Job
+	arb Arbiter
+	// journal, when installed, persists every validated input op before it
+	// is applied (see journal.go).
+	journal JournalFunc
+	pool    *Pool
+	nextID  int
+	queue   jobQueue
+	jobs    map[int]*Job
 	// running is the id-sorted index of running jobs backing EachRunning;
 	// its length is bounded by the pool size, not by job history.
 	running []*Job
@@ -237,6 +240,9 @@ func (c *Core) Submit(spec JobSpec, now float64) (*Job, []*Job, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	if err := c.journalOp(Op{Kind: OpSubmit, Now: now, Spec: spec}); err != nil {
+		return nil, nil, err
+	}
 	c.nextID++
 	c.jobs[j.ID] = j
 	c.queue.push(j)
@@ -348,10 +354,17 @@ func (c *Core) snapshot(j *Job, now float64) ClusterSnapshot {
 // processors immediately; shrinking releases processors only when the
 // resize library confirms with ResizeComplete.
 func (c *Core) Contact(jobID int, topo grid.Topology, iterTime, redistTime float64, now float64) (Decision, error) {
-	j, err := beginContact(c.jobs, jobID, topo, iterTime)
+	j, err := validateContact(c.jobs, jobID, topo)
 	if err != nil {
 		return Decision{}, err
 	}
+	if err := c.journalOp(Op{
+		Kind: OpContact, Now: now, JobID: jobID, Topo: topo,
+		IterTime: iterTime, RedistTime: redistTime,
+	}); err != nil {
+		return Decision{}, err
+	}
+	j.Profile.RecordIteration(j.Topo, iterTime)
 	var d Decision
 	if c.arb != nil {
 		d = c.arb.Decide(c.snapshot(j, now))
@@ -371,6 +384,9 @@ func (c *Core) ResizeComplete(jobID int, redistTime float64, now float64) ([]*Jo
 	j, ok := c.jobs[jobID]
 	if !ok {
 		return nil, fmt.Errorf("scheduler: unknown job %d", jobID)
+	}
+	if err := c.journalOp(Op{Kind: OpResizeComplete, Now: now, JobID: jobID, RedistTime: redistTime}); err != nil {
+		return nil, err
 	}
 	if freed := finishResize(j, redistTime); freed > 0 {
 		if err := c.pool.Release(&j.grant, freed); err != nil {
@@ -396,10 +412,19 @@ func (c *Core) Fail(jobID int, now float64) ([]*Job, error) {
 }
 
 func (c *Core) complete(jobID int, now float64, kind string) ([]*Job, error) {
-	j, err := finishJob(c.jobs, jobID, now, kind)
+	j, err := validateFinish(c.jobs, jobID, kind)
 	if err != nil {
 		return nil, err
 	}
+	opKind := OpFinish
+	if kind == "error" {
+		opKind = OpFail
+	}
+	if err := c.journalOp(Op{Kind: opKind, Now: now, JobID: jobID}); err != nil {
+		return nil, err
+	}
+	j.State = Done
+	j.EndTime = now
 	c.running = removeRunning(c.running, j)
 	c.pool.ReleaseAll(&j.grant)
 	j.pendingFree = 0

@@ -26,6 +26,14 @@ func (e *Engine) Now() float64 { return e.now }
 // Pending returns the number of undelivered events.
 func (e *Engine) Pending() int { return e.q.Len() }
 
+// PeekTime returns the timestamp of the earliest pending event, if any —
+// the hook crash/restart experiments use to interrupt a run at a chosen
+// virtual time between event dispatches.
+func (e *Engine) PeekTime() (float64, bool) {
+	ev, ok := e.q.Peek()
+	return ev.Time, ok
+}
+
 // Handle registers the handler for an event kind, replacing any previous
 // registration.
 func (e *Engine) Handle(kind EventKind, h Handler) {

@@ -1,0 +1,116 @@
+package scheduler
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+)
+
+// This file is the scheduler's journaling choke point. Every externally
+// driven state mutation enters the Core through exactly five methods —
+// Submit, Contact, ResizeComplete, Finish, Fail — and each of them emits
+// one Op record through the installed JournalFunc *after* validation but
+// *before* any state changes (write-ahead ordering). Because the Core is a
+// deterministic state machine (PR 1), replaying a journal of Ops into a
+// fresh Core reconstructs the original state bit for bit; package
+// internal/durability persists the records and drives the replay.
+
+// OpKind enumerates the journaled event-engine inputs.
+type OpKind uint8
+
+const (
+	// OpSubmit is a job arrival (Core.Submit).
+	OpSubmit OpKind = 1 + iota
+	// OpContact is a resize-point contact (Core.Contact), carrying the
+	// reported iteration and redistribution times.
+	OpContact
+	// OpResizeComplete confirms a granted resize (Core.ResizeComplete).
+	OpResizeComplete
+	// OpFinish is the System Monitor's job-end signal (Core.Finish).
+	OpFinish
+	// OpFail is the job-error/cancel signal (Core.Fail).
+	OpFail
+)
+
+// String names the op kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpSubmit:
+		return "submit"
+	case OpContact:
+		return "contact"
+	case OpResizeComplete:
+		return "resize-complete"
+	case OpFinish:
+		return "finish"
+	case OpFail:
+		return "fail"
+	default:
+		return "unknown"
+	}
+}
+
+// Op is one journaled scheduler input: the method, its timestamp, and the
+// arguments that method needs to re-execute. Priority and every other
+// scheduling input ride inside Spec for OpSubmit; the remaining kinds are
+// identified by JobID.
+type Op struct {
+	Kind OpKind
+	Now  float64
+
+	JobID int // all kinds except OpSubmit
+
+	Spec JobSpec // OpSubmit
+
+	Topo       grid.Topology // OpContact: the topology the job reports
+	IterTime   float64       // OpContact
+	RedistTime float64       // OpContact, OpResizeComplete
+}
+
+// JournalFunc persists one validated Op before it is applied. A non-nil
+// error refuses the operation: the Core returns the error to the caller
+// without mutating any state, so an acknowledged operation is always
+// durable.
+type JournalFunc func(Op) error
+
+// SetJournal installs the write-ahead journal hook (nil disables
+// journaling). Install it only after any recovery replay has finished, or
+// replayed operations would be appended to the journal a second time.
+func (c *Core) SetJournal(fn JournalFunc) { c.journal = fn }
+
+// journalOp emits one validated op through the installed hook.
+func (c *Core) journalOp(op Op) error {
+	if c.journal == nil {
+		return nil
+	}
+	if err := c.journal(op); err != nil {
+		return fmt.Errorf("scheduler: journal refused %s: %w", op.Kind, err)
+	}
+	return nil
+}
+
+// Apply re-executes one journaled op against the core — the recovery
+// replay path. The journal hook must not be installed while replaying.
+// Replayed ops were validated before they were journaled, so an error here
+// means the journal does not match the state it is being replayed into.
+func (c *Core) Apply(op Op) error {
+	switch op.Kind {
+	case OpSubmit:
+		_, _, err := c.Submit(op.Spec, op.Now)
+		return err
+	case OpContact:
+		_, err := c.Contact(op.JobID, op.Topo, op.IterTime, op.RedistTime, op.Now)
+		return err
+	case OpResizeComplete:
+		_, err := c.ResizeComplete(op.JobID, op.RedistTime, op.Now)
+		return err
+	case OpFinish:
+		_, err := c.Finish(op.JobID, op.Now)
+		return err
+	case OpFail:
+		_, err := c.Fail(op.JobID, op.Now)
+		return err
+	default:
+		return fmt.Errorf("scheduler: apply: unknown op kind %d", op.Kind)
+	}
+}

@@ -1,0 +1,167 @@
+package scheduler
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+)
+
+// This file is the snapshot side of the durable control plane: CoreState is
+// a self-contained, serializable image of the Core's scheduling state, deep
+// enough to resume from without replaying the journal from genesis. The
+// allocation-event trace is deliberately excluded — a recovered core starts
+// with an empty trace, and watch-stream continuity is carried by the
+// Server's event sequence number, which the snapshot owner persists
+// alongside the CoreState (see internal/durability).
+
+// PersistedJob is one job's serializable image.
+type PersistedJob struct {
+	ID    int
+	Spec  JobSpec
+	State JobState
+	Topo  grid.Topology
+
+	SubmitTime float64
+	StartTime  float64
+	EndTime    float64
+
+	// PendingFree is an in-flight shrink's give-back (released at the next
+	// ResizeComplete); ResizeFrom the pre-resize configuration awaiting its
+	// redistribution-cost report.
+	PendingFree int
+	ResizeFrom  grid.Topology
+
+	Profile *Profile
+}
+
+// CoreState is a serializable snapshot of the scheduler state machine.
+type CoreState struct {
+	Total    int
+	Shards   int
+	Backfill bool
+	NextID   int
+
+	// Busy-time integral (utilization accounting survives recovery).
+	BusySeconds  float64
+	LastBusy     int
+	LastBusyTime float64
+
+	// Jobs in ascending id order.
+	Jobs []PersistedJob
+}
+
+// PersistState captures the core's current state. The returned CoreState
+// shares nothing with the live core (profiles are deep-copied), so the
+// caller may serialize it after the core resumes mutating.
+func (c *Core) PersistState() *CoreState {
+	st := &CoreState{
+		Total:        c.Total,
+		Shards:       c.pool.NumShards(),
+		Backfill:     c.Backfill,
+		NextID:       c.nextID,
+		BusySeconds:  c.busySeconds,
+		LastBusy:     c.lastBusy,
+		LastBusyTime: c.lastBusyTime,
+		Jobs:         make([]PersistedJob, 0, len(c.jobs)),
+	}
+	for id := 0; id < c.nextID; id++ {
+		j, ok := c.jobs[id]
+		if !ok {
+			continue
+		}
+		st.Jobs = append(st.Jobs, PersistedJob{
+			ID: j.ID, Spec: j.Spec, State: j.State, Topo: j.Topo,
+			SubmitTime: j.SubmitTime, StartTime: j.StartTime, EndTime: j.EndTime,
+			PendingFree: j.pendingFree, ResizeFrom: j.resizeFrom,
+			Profile: cloneProfile(j.Profile),
+		})
+	}
+	return st
+}
+
+// cloneProfile deep-copies a performance profile.
+func cloneProfile(p *Profile) *Profile {
+	if p == nil {
+		return NewProfile()
+	}
+	out := &Profile{
+		Visits: make([]Visit, len(p.Visits)),
+		Redist: make(map[string]float64, len(p.Redist)),
+	}
+	for i, v := range p.Visits {
+		out.Visits[i] = Visit{Topo: v.Topo, IterTimes: append([]float64(nil), v.IterTimes...)}
+	}
+	for k, v := range p.Redist {
+		out.Redist[k] = v
+	}
+	return out
+}
+
+// NewCoreFromState rebuilds a Core from a snapshot: queued jobs re-enter
+// the wait queue in their original head order (the queue's total order is
+// (priority, id), both persisted), running jobs re-reserve their
+// processors from a fresh pool, and the busy-time integral resumes where
+// it left off. The pool's per-shard layout is rebuilt from scratch, so a
+// restored grant may span different shards than the original — allocation
+// *counts* (and therefore every scheduling decision) are unaffected, since
+// expansion steals across shards whenever the pool as a whole has room.
+//
+// Policy, arbiter and journal hooks are configuration, not state: the
+// caller re-installs them (an arbiter's transient plan state, if any, is
+// rebuilt at the next contact).
+func NewCoreFromState(st *CoreState) (*Core, error) {
+	if st.Total <= 0 || st.Shards <= 0 {
+		return nil, fmt.Errorf("scheduler: restore: invalid cluster shape %d procs / %d shards", st.Total, st.Shards)
+	}
+	c := NewCoreSharded(st.Total, st.Shards, st.Backfill)
+	c.nextID = st.NextID
+	c.busySeconds = st.BusySeconds
+	c.lastBusy = st.LastBusy
+	c.lastBusyTime = st.LastBusyTime
+	lastID := -1
+	for _, pj := range st.Jobs {
+		if pj.ID <= lastID || pj.ID >= st.NextID {
+			return nil, fmt.Errorf("scheduler: restore: job id %d out of order (last %d, next-id %d)",
+				pj.ID, lastID, st.NextID)
+		}
+		lastID = pj.ID
+		j := &Job{
+			ID: pj.ID, Spec: pj.Spec, State: pj.State, Topo: pj.Topo,
+			SubmitTime: pj.SubmitTime, StartTime: pj.StartTime, EndTime: pj.EndTime,
+			pendingFree: pj.PendingFree, resizeFrom: pj.ResizeFrom,
+			Profile: pj.Profile,
+		}
+		if j.Profile == nil {
+			j.Profile = NewProfile()
+		}
+		if j.Profile.Redist == nil {
+			// gob decodes an empty map as nil.
+			j.Profile.Redist = make(map[string]float64)
+		}
+		c.jobs[j.ID] = j
+		switch pj.State {
+		case Queued:
+			if !j.Spec.InitialTopo.IsValid() {
+				return nil, fmt.Errorf("scheduler: restore: queued job %d has invalid topology", j.ID)
+			}
+			c.queue.push(j)
+		case Running:
+			need := j.Topo.Count() + j.pendingFree
+			if !j.Topo.IsValid() || need <= 0 {
+				return nil, fmt.Errorf("scheduler: restore: running job %d has invalid allocation", j.ID)
+			}
+			g, ok := c.pool.Alloc(need)
+			if !ok {
+				return nil, fmt.Errorf("scheduler: restore: running jobs overcommit the pool at job %d (%d procs, %d free)",
+					j.ID, need, c.pool.Free())
+			}
+			j.grant = g
+			c.running = insertRunning(c.running, j)
+		case Done:
+			// Nothing to index.
+		default:
+			return nil, fmt.Errorf("scheduler: restore: job %d has unknown state %d", j.ID, pj.State)
+		}
+	}
+	return c, nil
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/grid"
@@ -38,11 +39,13 @@ type Server struct {
 
 	// Event broker state (see watch.go): pubIdx is the high-water mark
 	// into core.Events already fanned out, seq the last published event
-	// sequence number.
+	// sequence number. seq is atomic so durability snapshots can read it
+	// from inside the journal hook, which runs while s.mu is already held
+	// by the mutating call.
 	subs    map[int]*subscriber
 	nextSub int
 	pubIdx  int
-	seq     uint64
+	seq     atomic.Uint64
 }
 
 // NewServer wraps a Core with a DefaultShards processor pool. starter may
@@ -64,8 +67,56 @@ func NewServerCore(core *Core, starter JobStarter) *Server {
 	}
 }
 
+// NewServerRecovered wraps a core reconstructed by journal recovery. seq
+// seeds the watch-event sequence so streams resume gap-detectably where
+// the crashed server left off; clock is the last journaled timestamp, and
+// the server's epoch is backdated so Now() continues monotonically past
+// it. Wait channels are rebuilt for every recovered job (already closed
+// for Done ones, so Wait returns immediately).
+func NewServerRecovered(core *Core, seq uint64, clock float64, starter JobStarter) *Server {
+	s := &Server{
+		core:    core,
+		starter: starter,
+		epoch:   time.Now().Add(-time.Duration(clock * float64(time.Second))),
+		done:    make(map[int]chan struct{}),
+		pubIdx:  len(core.Events),
+	}
+	s.seq.Store(seq)
+	for _, j := range core.Jobs() {
+		ch := make(chan struct{})
+		if j.State == Done {
+			close(ch)
+		}
+		s.done[j.ID] = ch
+	}
+	return s
+}
+
+// RelaunchRunning invokes the JobStarter for every job the recovered core
+// believes is running. A daemon whose workers live in-process calls this
+// after recovery: the worker goroutines died with the old process, so the
+// jobs restart on their recovered allocations. Externally driven jobs must
+// NOT be relaunched — their workers survived and reconnect on their own.
+func (s *Server) RelaunchRunning() []*Job {
+	s.mu.Lock()
+	var running []*Job
+	for _, j := range s.core.Jobs() {
+		if j.State == Running {
+			running = append(running, j)
+		}
+	}
+	s.mu.Unlock()
+	s.launch(running)
+	return running
+}
+
 // Now returns the scheduler clock in seconds since server start.
 func (s *Server) Now() float64 { return time.Since(s.epoch).Seconds() }
+
+// Seq returns the sequence number of the most recently published watch
+// event. Durability snapshots persist it so a recovered server's streams
+// continue the numbering.
+func (s *Server) Seq() uint64 { return s.seq.Load() }
 
 // Core exposes the underlying state machine for inspection (tests,
 // experiment harnesses). Callers must not mutate it concurrently with

@@ -184,9 +184,8 @@ func (s *Server) publishLocked() {
 		return
 	}
 	for _, e := range events[s.pubIdx:] {
-		s.seq++
 		ev := JobEvent{
-			Seq:   s.seq,
+			Seq:   s.seq.Add(1),
 			Time:  e.Time,
 			JobID: e.JobID,
 			Job:   e.Job,

@@ -133,6 +133,7 @@ type Sim struct {
 	inputs  []JobInput
 	byID    map[int]*jobState
 	pending []JobInput // not yet submitted
+	crashes []crashPlan
 }
 
 type jobState struct {
@@ -228,7 +229,7 @@ func (s *Sim) Run() (*Result, error) {
 	for i := range arrivals {
 		s.eng.At(arrivals[i].Arrival, scheduler.EvArrival, i)
 	}
-	if err := s.eng.Run(); err != nil {
+	if err := s.drain(); err != nil {
 		return nil, err
 	}
 	return s.collect()
