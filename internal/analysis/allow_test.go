@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+const allowSrc = `package p
+
+func a() {
+	x := 1 //lint:allow det same-line directive with a reason
+	_ = x
+}
+
+func b() {
+	//lint:allow det directive above the statement
+	y := 2
+	_ = y
+}
+
+func c() {
+	//lint:allow det
+	z := 3
+	_ = z
+}
+
+func d() {
+	//lint:allow other a different analyzer's allowance
+	w := 4
+	_ = w
+}
+`
+
+// TestFilterAllowed covers the escape hatch's four behaviors: same-line
+// suppression, line-above suppression, the mandatory justification, and
+// analyzer-name matching.
+func TestFilterAllowed(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", allowSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lineStart := func(line int) token.Pos {
+		return token.Pos(fset.File(f.Pos()).LineStart(line))
+	}
+	diags := []Diagnostic{
+		{Pos: lineStart(4), Message: "on the directive line"},   // suppressed (same line)
+		{Pos: lineStart(10), Message: "below the directive"},    // suppressed (line above)
+		{Pos: lineStart(16), Message: "below a bare directive"}, // kept: no justification
+		{Pos: lineStart(22), Message: "other analyzer's line"},  // kept: name mismatch
+	}
+	got := filterAllowed("det", fset, []*ast.File{f}, diags)
+	var msgs []string
+	for _, d := range got {
+		msgs = append(msgs, d.Message)
+	}
+	joined := strings.Join(msgs, " | ")
+	for _, want := range []string{
+		"needs a justification",
+		"below a bare directive",
+		"other analyzer's line",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing expected diagnostic %q in %q", want, joined)
+		}
+	}
+	for _, gone := range []string{"on the directive line", "below the directive"} {
+		if strings.Contains(joined, gone) {
+			t.Errorf("diagnostic %q should have been suppressed; got %q", gone, joined)
+		}
+	}
+}
+
+// TestAppliesTo pins the subpath semantics of analyzer scopes.
+func TestAppliesTo(t *testing.T) {
+	a := &Analyzer{Scope: []string{"repro/internal/scheduler"}}
+	cases := map[string]bool{
+		"repro/internal/scheduler":         true,
+		"repro/internal/scheduler/arbiter": true,
+		"repro/internal/schedulerx":        false,
+		"repro/internal/rpc":               false,
+	}
+	for path, want := range cases {
+		if got := a.AppliesTo(path); got != want {
+			t.Errorf("AppliesTo(%q) = %v, want %v", path, got, want)
+		}
+	}
+	all := &Analyzer{}
+	if !all.AppliesTo("anything/at/all") {
+		t.Error("empty scope must match every package")
+	}
+}

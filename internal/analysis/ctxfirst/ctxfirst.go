@@ -1,0 +1,132 @@
+// Package ctxfirst enforces the context discipline of the scheduler's
+// capability surface (resize.Scheduler and the transports implementing
+// it): since rpc/v2, every blocking or remote-capable operation takes a
+// context.Context so in-process and wire schedulers stay interchangeable
+// and cancellable. Three rules:
+//
+//  1. A context.Context parameter must be the first parameter — anywhere
+//     in the scoped packages, exported or not (the uniform position is
+//     what lets call sites and transports stay mechanical).
+//  2. Exported error-returning methods on boundary types (names ending in
+//     Server or Client) must take a context: a new capability method
+//     without one cannot be transported or cancelled. Lifecycle methods
+//     (Close, Err, Shutdown) are exempt — they tear contexts down.
+//  3. Contexts are request-scoped values, not struct state: a struct
+//     field of type context.Context is flagged. The two sanctioned
+//     lifetime contexts (rpc.Server.baseCtx and the per-connection
+//     v2conn.ctx, the net/http BaseContext pattern) carry justified
+//     //lint:allow directives.
+package ctxfirst
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Scope covers the capability interface and every implementation of it.
+var Scope = []string{
+	"repro/internal/scheduler",
+	"repro/internal/rpc",
+	"repro/internal/reshape",
+	"repro/internal/resize",
+	"repro/pkg/reshape",
+}
+
+// exemptMethods are boundary-type methods that legitimately outlive or
+// tear down request contexts.
+var exemptMethods = map[string]bool{"Close": true, "Err": true, "Shutdown": true}
+
+// Analyzer is the context-discipline check.
+var Analyzer = &analysis.Analyzer{
+	Name:  "ctxfirst",
+	Doc:   "context.Context first parameter on the capability surface; contexts are passed, never stored",
+	Scope: Scope,
+	Run:   run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				checkSignature(pass, d)
+			case *ast.StructType:
+				checkStoredContext(pass, d)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isContext reports whether t is context.Context.
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// checkSignature enforces ctx-position on every function and
+// ctx-presence on boundary methods.
+func checkSignature(pass *analysis.Pass, d *ast.FuncDecl) {
+	obj, ok := pass.TypesInfo.Defs[d.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	sig := obj.Type().(*types.Signature)
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContext(params.At(i).Type()) && i != 0 {
+			pass.Reportf(d.Name.Pos(), "%s passes context.Context as parameter %d; context.Context must be the first parameter", d.Name.Name, i+1)
+			break
+		}
+	}
+
+	// Boundary rule: exported, error-returning methods on *Server/*Client
+	// types must take a context first.
+	recv := sig.Recv()
+	if recv == nil || !d.Name.IsExported() || exemptMethods[d.Name.Name] {
+		return
+	}
+	rt := recv.Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok {
+		return
+	}
+	tname := named.Obj().Name()
+	if !strings.HasSuffix(tname, "Server") && !strings.HasSuffix(tname, "Client") {
+		return
+	}
+	res := sig.Results()
+	if res.Len() == 0 || !isErrorType(res.At(res.Len()-1).Type()) {
+		return
+	}
+	if params.Len() == 0 || !isContext(params.At(0).Type()) {
+		pass.Reportf(d.Name.Pos(), "%s.%s returns an error but takes no context.Context; capability methods on %s must accept a context so remote transports can cancel them", tname, d.Name.Name, tname)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// checkStoredContext flags struct fields of type context.Context.
+func checkStoredContext(pass *analysis.Pass, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		if t == nil || !isContext(t) {
+			continue
+		}
+		pass.Reportf(field.Pos(), "struct stores a context.Context; contexts are request-scoped — pass them as the first argument instead")
+	}
+}

@@ -1,0 +1,18 @@
+package ctxfirst_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/ctxfirst"
+)
+
+// TestCtxfirst pins the context discipline: late context parameters,
+// context-less error-returning methods on boundary (Server/Client) types,
+// and stored context.Context fields are flagged; lifecycle methods
+// (Close), accessors, non-boundary types, same-named non-context types
+// (the blacs.Context shape) and the justified lifetime-context hatch are
+// not.
+func TestCtxfirst(t *testing.T) {
+	analysistest.Run(t, analysistest.TestdataDir(), ctxfirst.Analyzer, "ctxfirst")
+}

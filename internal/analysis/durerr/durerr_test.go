@@ -1,0 +1,16 @@
+package durerr_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/durerr"
+)
+
+// TestDurerr pins durability error discipline: bare and blank-discarded
+// Sync/Write/Rename/Close calls are flagged; deferred Close (read-path
+// cleanup), fully handled errors, and the justified escape hatch are not;
+// deferred Sync is still a loss and is flagged.
+func TestDurerr(t *testing.T) {
+	analysistest.Run(t, analysistest.TestdataDir(), durerr.Analyzer, "durerr")
+}

@@ -1,0 +1,34 @@
+package ctxfirst
+
+import "context"
+
+// JobClient is a boundary type: exported error-returning methods must
+// take a context first.
+type JobClient struct{ addr string }
+
+// Submit is compliant.
+func (c *JobClient) Submit(ctx context.Context, spec string) (int, error) {
+	return 0, ctx.Err()
+}
+
+// Cancel returns an error but cannot be cancelled or transported: flagged.
+func (c *JobClient) Cancel(id int) error { // want "JobClient.Cancel returns an error but takes no context.Context"
+	return nil
+}
+
+// Close tears the client down; lifecycle methods are exempt.
+func (c *JobClient) Close() error { return nil }
+
+// Dials is an accessor: no error result, no context required.
+func (c *JobClient) Dials() int { return 0 }
+
+// misplaced passes the context late: flagged wherever it appears.
+func misplaced(id int, ctx context.Context) error { // want "misplaced passes context.Context as parameter 2"
+	return ctx.Err()
+}
+
+// session is not a boundary type (no Server/Client suffix): its methods
+// may use internally managed contexts.
+type session struct{ n int }
+
+func (s *session) Advance() error { return nil }

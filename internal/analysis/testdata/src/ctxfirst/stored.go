@@ -1,0 +1,29 @@
+package ctxfirst
+
+import "context"
+
+// watcher stores a request context: flagged.
+type watcher struct {
+	id  int
+	ctx context.Context // want "struct stores a context.Context"
+}
+
+// Context is a local type that happens to share the name; storing it is
+// fine — the check is type-based, not name-based (cf. blacs.Context).
+type Context struct{ grid int }
+
+type sessionState struct {
+	ctx *Context // a process-grid context, not a cancellation context
+}
+
+// server shows the sanctioned lifetime-context pattern behind the hatch.
+type server struct {
+	//lint:allow ctxfirst server lifetime context, the net/http BaseContext pattern
+	baseCtx context.Context
+	cancel  context.CancelFunc
+}
+
+func use(w watcher, s sessionState, sv server) (int, int) {
+	_ = sv
+	return w.id, s.ctx.grid
+}

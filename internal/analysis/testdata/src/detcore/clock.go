@@ -1,0 +1,34 @@
+package detcore
+
+import "time"
+
+// epoch simulates the scheduler clock helpers the analyzer must flag.
+func epoch() float64 {
+	start := time.Now()                // want "time.Now reads the wall clock"
+	return time.Since(start).Seconds() // want "time.Since reads the wall clock"
+}
+
+// deadline shows the remaining forbidden clock read.
+func deadline(t time.Time) time.Duration {
+	return time.Until(t) // want "time.Until reads the wall clock"
+}
+
+// sanctioned is the Server-boundary pattern: a justified allow directive
+// suppresses the diagnostic.
+func sanctioned() time.Time {
+	//lint:allow detcore the server epoch is the sanctioned nondeterminism boundary
+	return time.Now()
+}
+
+// unjustified carries a bare directive: the directive itself is the
+// finding, and it does not suppress the violation below it.
+func unjustified() time.Time {
+	//lint:allow detcore // want "needs a justification"
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+// timers are not clock reads: they schedule real-time work without
+// putting a timestamp into replayable state.
+func timers() *time.Ticker {
+	return time.NewTicker(time.Second)
+}

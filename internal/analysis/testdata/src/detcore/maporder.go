@@ -1,0 +1,66 @@
+package detcore
+
+import "sort"
+
+type event struct{ id int }
+
+type core struct {
+	events []event
+}
+
+// leakAppend feeds map iteration order straight into an ordered trace.
+func leakAppend(jobs map[int]string) []string {
+	var out []string
+	for _, name := range jobs {
+		out = append(out, name) // want "append to out inside range over a map"
+	}
+	return out
+}
+
+// leakFieldAppend appends through a selector: an event trace.
+func (c *core) leakFieldAppend(jobs map[int]int) {
+	for id := range jobs {
+		c.events = append(c.events, event{id: id}) // want "append to c.events inside range over a map"
+	}
+}
+
+// collectThenSort is the sanctioned idiom: the sort re-establishes a
+// deterministic order, so the append is not a leak.
+func collectThenSort(jobs map[int]string) []string {
+	var keys []int
+	for k := range jobs {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, jobs[k])
+	}
+	return out
+}
+
+// innerAppend grows a loop-local slice: order cannot escape the body.
+func innerAppend(jobs map[int][]int) int {
+	total := 0
+	for _, vs := range jobs {
+		var local []int
+		local = append(local, vs...)
+		total += len(local)
+	}
+	return total
+}
+
+// sharedSend publishes values on one channel in map order.
+func sharedSend(jobs map[int]string, out chan string) {
+	for _, name := range jobs {
+		out <- name // want "send on a shared channel inside range over a map"
+	}
+}
+
+// perKeySend delivers to each subscriber's own channel: every receiver
+// sees a deterministic stream, whatever the map order.
+func perKeySend(subs map[int]chan int, v int) {
+	for _, ch := range subs {
+		ch <- v
+	}
+}

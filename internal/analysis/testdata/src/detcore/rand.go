@@ -1,0 +1,20 @@
+package detcore
+
+import "math/rand"
+
+// pick draws from the global source: forbidden, it is process-seeded.
+func pick(n int) int {
+	return rand.Intn(n) // want "rand.Intn draws from the global random source"
+}
+
+// shuffle is the other common global-source slip.
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "rand.Shuffle draws from the global random source"
+}
+
+// seeded owns its generator: the constructor calls are the sanctioned
+// path and method calls on the local generator are free.
+func seeded(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}

@@ -1,0 +1,25 @@
+package detcore
+
+// Core mimics the scheduler's replayable state machine; Apply is a
+// configured replay root.
+type Core struct{ n int }
+
+// Apply is the replay entry point.
+func (c *Core) Apply(op int) error {
+	c.step(op)
+	return nil
+}
+
+// step is reachable from Apply, so its goroutine is a replay-path spawn.
+func (c *Core) step(op int) {
+	go func() { // want "goroutine spawned on the journal replay path"
+		c.n += op
+	}()
+}
+
+// Serve is NOT reachable from Apply: boundary goroutines are fine.
+func (c *Core) Serve() {
+	go c.loop()
+}
+
+func (c *Core) loop() {}

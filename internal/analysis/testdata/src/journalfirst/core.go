@@ -1,0 +1,27 @@
+// core.go is an allowed state-machine file: every write below is legal.
+package journalfirst
+
+// Job mirrors the scheduler's job record (guarded fields by name).
+type Job struct {
+	ID          int
+	State       int
+	Topo        int
+	pendingFree int
+	EndTime     float64
+}
+
+// Core mirrors the scheduler core's journaled state.
+type Core struct {
+	Policy string // not journaled: configuration, not state
+	nextID int
+	jobs   map[int]*Job
+	Events []int
+}
+
+// Submit is a journaled entry point: writes here are the state machine.
+func (c *Core) Submit(j *Job) {
+	c.nextID++
+	c.jobs[j.ID] = j
+	c.Events = append(c.Events, j.ID)
+	j.State = 1
+}

@@ -1,0 +1,29 @@
+// rogue.go is NOT an allowed file: direct writes to journaled state here
+// bypass the write-ahead journal.
+package journalfirst
+
+// Hijack mutates acknowledged state without a WAL record.
+func Hijack(c *Core, j *Job) {
+	c.nextID++                      // want "write to journaled state Core.nextID"
+	c.jobs[j.ID] = j                // want "write to journaled state Core.jobs"
+	c.Events = append(c.Events, 99) // want "write to journaled state Core.Events"
+	j.State = 2                     // want "write to journaled state Job.State"
+	j.pendingFree += 4              // want "write to journaled state Job.pendingFree"
+	j.EndTime = 1.5                 // want "write to journaled state Job.EndTime"
+}
+
+// Configure touches configuration, not journaled state: legal anywhere.
+func Configure(c *Core) {
+	c.Policy = "paper"
+}
+
+// Inspect only reads: reads are unrestricted.
+func Inspect(c *Core) int {
+	return c.nextID + len(c.jobs)
+}
+
+// Sanctioned shows the escape hatch on a genuinely non-replayed cache.
+func Sanctioned(c *Core) {
+	//lint:allow journalfirst rebuilding a derived index, not acknowledged state
+	c.Events = nil
+}

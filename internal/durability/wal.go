@@ -1,6 +1,7 @@
 package durability
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -111,8 +112,7 @@ func openWALSegment(dir string, first uint64, policy SyncPolicy) (*wal, error) {
 		return nil, fmt.Errorf("durability: open segment: %w", err)
 	}
 	if err := syncDir(dir); err != nil {
-		f.Close()
-		return nil, err
+		return nil, errors.Join(err, f.Close())
 	}
 	return &wal{dir: dir, policy: policy, f: f, path: path, index: first, segStart: first}, nil
 }
@@ -170,8 +170,7 @@ func (w *wal) rotate() error {
 // close syncs and closes the open segment.
 func (w *wal) close() error {
 	if err := w.sync(); err != nil {
-		w.f.Close()
-		return err
+		return errors.Join(err, w.f.Close())
 	}
 	return w.f.Close()
 }

@@ -85,6 +85,7 @@ type Server struct {
 
 	// baseCtx is cancelled on Close; every blocking v1 dispatch and v2
 	// request inherits from it.
+	//lint:allow ctxfirst server-lifetime context (net/http BaseContext pattern): cancelled on Close, never a request context
 	baseCtx context.Context
 	cancel  context.CancelFunc
 

@@ -20,6 +20,7 @@ type v2conn struct {
 
 	// ctx is cancelled when the connection dies or the server closes;
 	// every in-flight request derives from it.
+	//lint:allow ctxfirst connection-lifetime context: scoped to one conn's read loop, not carried across requests
 	ctx    context.Context
 	cancel context.CancelFunc
 

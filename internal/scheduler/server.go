@@ -61,9 +61,10 @@ func NewServerCore(core *Core, starter JobStarter) *Server {
 	return &Server{
 		core:    core,
 		starter: starter,
-		epoch:   time.Now(),
-		done:    make(map[int]chan struct{}),
-		pubIdx:  len(core.Events),
+		//lint:allow detcore the server epoch is the one sanctioned wall-clock read; all scheduler timestamps derive from Now() relative to it
+		epoch:  time.Now(),
+		done:   make(map[int]chan struct{}),
+		pubIdx: len(core.Events),
 	}
 }
 
@@ -77,9 +78,10 @@ func NewServerRecovered(core *Core, seq uint64, clock float64, starter JobStarte
 	s := &Server{
 		core:    core,
 		starter: starter,
-		epoch:   time.Now().Add(-time.Duration(clock * float64(time.Second))),
-		done:    make(map[int]chan struct{}),
-		pubIdx:  len(core.Events),
+		//lint:allow detcore recovered-epoch backdating: the one wall-clock read that re-anchors the journaled clock after a crash
+		epoch:  time.Now().Add(-time.Duration(clock * float64(time.Second))),
+		done:   make(map[int]chan struct{}),
+		pubIdx: len(core.Events),
 	}
 	s.seq.Store(seq)
 	for _, j := range core.Jobs() {
@@ -111,6 +113,8 @@ func (s *Server) RelaunchRunning() []*Job {
 }
 
 // Now returns the scheduler clock in seconds since server start.
+//
+//lint:allow detcore Now() is the epoch boundary: the single conversion from wall clock to the deterministic scheduler clock
 func (s *Server) Now() float64 { return time.Since(s.epoch).Seconds() }
 
 // Seq returns the sequence number of the most recently published watch
@@ -239,6 +243,7 @@ func (s *Server) WaitAll(ctx context.Context) error {
 	s.mu.Lock()
 	chans := make([]chan struct{}, 0, len(s.done))
 	for _, ch := range s.done {
+		//lint:allow detcore wait-on-all: every channel is received from regardless of order, so map-iteration order cannot leak
 		chans = append(chans, ch)
 	}
 	s.mu.Unlock()

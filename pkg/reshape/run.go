@@ -141,6 +141,7 @@ func report(s *resize.Session, resizes int) *Report {
 type runner struct {
 	app App
 	cfg *config
+	//lint:allow ctxfirst per-Run closure object: the stored ctx is Run's own argument, shared across rank goroutines for collective cancellation
 	ctx context.Context
 
 	mu     sync.Mutex
