@@ -22,6 +22,7 @@ import (
 	"repro/internal/redistrib"
 	"repro/internal/scheduler"
 	"repro/internal/scheduler/arbiter"
+	"repro/internal/scheduler/rebalance"
 	"repro/internal/simcluster"
 	"repro/internal/workload"
 )
@@ -206,6 +207,16 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 			return c
 		})
 	})
+	// The 1M-job case extends the scaling curve one more decade: CI tracks
+	// it in BENCH_scheduler.json so super-linear regressions in the queue
+	// or pool indexes show up as a bend between 100k and 1M.
+	b.Run("event-1M", func(b *testing.B) {
+		run(b, 1_000_000, func() scheduler.Interface {
+			c := scheduler.NewCoreSharded(clusterProcs, 16, true)
+			c.DisableTrace()
+			return c
+		})
+	})
 	b.Run("linear-10k", func(b *testing.B) {
 		run(b, 10_000, func() scheduler.Interface {
 			return scheduler.NewLinearCore(clusterProcs, true)
@@ -243,6 +254,46 @@ func BenchmarkArbiter(b *testing.B) {
 	b.Run("benefit-ranked", func(b *testing.B) {
 		run(b, func(s *simcluster.Sim) *simcluster.Sim {
 			return s.WithArbiter(&arbiter.BenefitRanked{Predict: simcluster.Predictor(params, jobs)})
+		})
+	})
+}
+
+// BenchmarkRebalance measures the global rebalancer end to end on the same
+// contended mix as BenchmarkArbiter: the reactive benefit-ranked arbiter
+// alone versus the planning layer ticking every
+// experiments.DefaultRebalanceTick seconds. makespan-s exposes the
+// scheduling win the planner buys; jobs/s its throughput cost (curve fits
+// and water-filling on every tick). CI uploads both series in
+// BENCH_scheduler.json.
+func BenchmarkRebalance(b *testing.B) {
+	params := perfmodel.SystemX()
+	jobs, err := experiments.ContendedMix()
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, mk func(s *simcluster.Sim) *simcluster.Sim) {
+		var makespan float64
+		for i := 0; i < b.N; i++ {
+			res, err := mk(simcluster.New(workload.ClusterProcs, simcluster.Dynamic, params, jobs)).Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			makespan = res.Makespan
+		}
+		b.ReportMetric(makespan, "makespan-s")
+		b.ReportMetric(float64(len(jobs))*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+	}
+	b.Run("reactive", func(b *testing.B) {
+		run(b, func(s *simcluster.Sim) *simcluster.Sim {
+			return s.WithArbiter(&arbiter.BenefitRanked{Predict: simcluster.Predictor(params, jobs)})
+		})
+	})
+	b.Run("rebalance", func(b *testing.B) {
+		run(b, func(s *simcluster.Sim) *simcluster.Sim {
+			reb := rebalance.New(&arbiter.BenefitRanked{Predict: simcluster.Predictor(params, jobs)})
+			reb.Predict = simcluster.Predictor(params, jobs)
+			reb.RedistCost = simcluster.RedistPredictor(params, jobs)
+			return s.WithArbiter(reb).WithRebalance(experiments.DefaultRebalanceTick)
 		})
 	})
 }

@@ -32,12 +32,14 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"time"
 
 	"repro/internal/apps"
 	"repro/internal/durability"
 	"repro/internal/rpc"
 	"repro/internal/scheduler"
 	"repro/internal/scheduler/arbiter"
+	"repro/internal/scheduler/rebalance"
 	sdk "repro/pkg/reshape"
 )
 
@@ -47,7 +49,9 @@ func main() {
 	backfill := flag.Bool("backfill", true, "enable simple backfill in addition to FCFS")
 	shards := flag.Int("shards", 0, "processor-pool shard count (0 = one shard per 64 processors)")
 	arb := flag.String("arbiter", "fcfs",
-		"resize arbitration: fcfs (published single-job policy) or benefit (cluster-wide benefit ranking with priorities, aging and coordinated shrink)")
+		"resize arbitration: fcfs (published single-job policy), benefit (cluster-wide benefit ranking with priorities, aging and coordinated shrink) or rebalance (benefit plus periodic curve-driven global replanning; see -rebalance-every)")
+	rebalanceEvery := flag.Duration("rebalance-every", 0,
+		"global-rebalancer planning-tick interval (0 = ticks disabled; requires -arbiter rebalance to have any effect)")
 	walDir := flag.String("wal-dir", "",
 		"write-ahead-log directory for a durable control plane (empty = volatile scheduler state)")
 	snapshotEvery := flag.Uint64("snapshot-every", 10000,
@@ -70,8 +74,11 @@ func main() {
 		case "benefit":
 			core.SetArbiter(&arbiter.BenefitRanked{})
 			return nil
+		case "rebalance":
+			core.SetArbiter(rebalance.New(nil))
+			return nil
 		default:
-			return fmt.Errorf("reshaped: unknown -arbiter %q (want fcfs or benefit)", *arb)
+			return fmt.Errorf("reshaped: unknown -arbiter %q (want fcfs, benefit or rebalance)", *arb)
 		}
 	}
 
@@ -157,9 +164,32 @@ func main() {
 	log.Printf("reshaped: %d processors in %d pool shard(s), %s arbitration, %s, listening on %s (rpc v1+v2)",
 		core.Total, core.Pool().NumShards(), *arb, durable, rpcSrv.Addr())
 
+	stopTicks := make(chan struct{})
+	if *rebalanceEvery > 0 {
+		if *arb != "rebalance" {
+			log.Printf("reshaped: -rebalance-every is set but -arbiter is %q; ticks will be no-ops", *arb)
+		}
+		go func() {
+			t := time.NewTicker(*rebalanceEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if err := srv.Rebalance(context.Background()); err != nil {
+						log.Printf("reshaped: rebalance tick: %v", err)
+					}
+				case <-stopTicks:
+					return
+				}
+			}
+		}()
+		log.Printf("reshaped: global rebalancer ticking every %s", *rebalanceEvery)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
+	close(stopTicks)
 	st := rpcSrv.Stats()
 	log.Printf("reshaped: shutting down (%d v1 conns, %d v2 conns, %d requests, %d watches, %d malformed)",
 		st.V1Conns, st.V2Conns, st.Requests, st.Watches, st.Malformed)

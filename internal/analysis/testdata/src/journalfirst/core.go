@@ -12,10 +12,11 @@ type Job struct {
 
 // Core mirrors the scheduler core's journaled state.
 type Core struct {
-	Policy string // not journaled: configuration, not state
-	nextID int
-	jobs   map[int]*Job
-	Events []int
+	Policy       string // not journaled: configuration, not state
+	nextID       int
+	jobs         map[int]*Job
+	Events       []int
+	lastBusyTime float64
 }
 
 // Submit is a journaled entry point: writes here are the state machine.

@@ -1,0 +1,28 @@
+// rebalance.go is NOT an allowed file: it mimics a planning layer (the
+// global rebalancer) trying to apply its journaled OpRebalance tick
+// directly instead of through the validated→journal→apply→ack state
+// machine. Even a "timestamp-only" op mutates journaled state when
+// applied — the clock advance and any directive actuation must go
+// through Core.Rebalance in journal.go, or a crash-recovery replay
+// diverges from the acknowledged plan.
+package journalfirst
+
+// applyTick applies a rebalance tick in place: both writes bypass the
+// write-ahead journal and are rejected.
+func applyTick(c *Core, now float64) {
+	c.lastBusyTime = now // want "write to journaled state Core.lastBusyTime"
+	for _, j := range c.jobs {
+		j.Topo++ // want "write to journaled state Job.Topo"
+	}
+}
+
+// planTick only reads the journaled state to build a plan: legal — the
+// planner's directives are actuated by the state machine, not here.
+func planTick(c *Core) (views int) {
+	for _, j := range c.jobs {
+		if j.State == 1 {
+			views += j.Topo
+		}
+	}
+	return views
+}

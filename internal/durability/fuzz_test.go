@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"errors"
 	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/scheduler"
 )
 
 // fuzzSeedCorpus returns byte images worth mutating: valid payloads and
@@ -51,6 +54,46 @@ func FuzzDecodeOp(f *testing.F) {
 		}
 		if !bytes.Equal(re, appendOp(nil, op2)) {
 			t.Fatalf("round trip diverged:\n first %+v\n  second %+v", op, op2)
+		}
+	})
+}
+
+// FuzzDecodeSnapshot feeds arbitrary bytes to the snapshot-payload
+// decoder: like decodeOp it must never panic and either fail typed or
+// produce a blob that round-trips through the canonical encoder.
+func FuzzDecodeSnapshot(f *testing.F) {
+	core := scheduler.NewCore(8, true)
+	spec := scheduler.JobSpec{
+		Name: "j", App: "jacobi", ProblemSize: 4000, Iterations: 10,
+		InitialTopo: grid.Topology{Rows: 2, Cols: 2},
+		Chain:       []grid.Topology{{Rows: 2, Cols: 2}, {Rows: 2, Cols: 4}},
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, err := core.Submit(spec, float64(i)); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if _, err := core.Contact(0, grid.Topology{Rows: 2, Cols: 2}, 1.5, 0, 10); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(appendSnapshot(nil, &snapshotBlob{Index: 4, Seq: 9, Clock: 10, State: core.PersistState()}))
+	f.Add(appendSnapshot(nil, &snapshotBlob{State: &scheduler.CoreState{Total: 1, Shards: 1}}))
+	f.Add([]byte{0x00})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		blob, err := decodeSnapshot(payload)
+		if err != nil {
+			if !errors.Is(err, ErrBadRecord) {
+				t.Fatalf("decodeSnapshot returned untyped error %v", err)
+			}
+			return
+		}
+		re := appendSnapshot(nil, blob)
+		blob2, err := decodeSnapshot(re)
+		if err != nil {
+			t.Fatalf("canonical re-encode failed to decode: %v", err)
+		}
+		if !bytes.Equal(re, appendSnapshot(nil, blob2)) {
+			t.Fatal("snapshot round trip diverged")
 		}
 	})
 }

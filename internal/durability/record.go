@@ -66,24 +66,30 @@ func appendTopo(dst []byte, t grid.Topology) []byte {
 	return appendInt(dst, t.Cols)
 }
 
+// appendSpec encodes one job spec (shared by the OpSubmit record and the
+// snapshot's per-job image).
+func appendSpec(dst []byte, sp scheduler.JobSpec) []byte {
+	dst = appendString(dst, sp.Name)
+	dst = appendString(dst, sp.App)
+	dst = appendInt(dst, sp.ProblemSize)
+	dst = appendInt(dst, sp.BlockSize)
+	dst = appendInt(dst, sp.Iterations)
+	dst = appendInt(dst, sp.Priority)
+	dst = appendTopo(dst, sp.InitialTopo)
+	dst = appendUint(dst, uint64(len(sp.Chain)))
+	for _, t := range sp.Chain {
+		dst = appendTopo(dst, t)
+	}
+	return dst
+}
+
 // appendOp encodes one scheduler op as a self-contained payload.
 func appendOp(dst []byte, op scheduler.Op) []byte {
 	dst = append(dst, byte(op.Kind))
 	dst = appendFloat(dst, op.Now)
 	switch op.Kind {
 	case scheduler.OpSubmit:
-		sp := op.Spec
-		dst = appendString(dst, sp.Name)
-		dst = appendString(dst, sp.App)
-		dst = appendInt(dst, sp.ProblemSize)
-		dst = appendInt(dst, sp.BlockSize)
-		dst = appendInt(dst, sp.Iterations)
-		dst = appendInt(dst, sp.Priority)
-		dst = appendTopo(dst, sp.InitialTopo)
-		dst = appendUint(dst, uint64(len(sp.Chain)))
-		for _, t := range sp.Chain {
-			dst = appendTopo(dst, t)
-		}
+		dst = appendSpec(dst, op.Spec)
 	case scheduler.OpContact:
 		dst = appendInt(dst, op.JobID)
 		dst = appendTopo(dst, op.Topo)
@@ -94,6 +100,9 @@ func appendOp(dst []byte, op scheduler.Op) []byte {
 		dst = appendFloat(dst, op.RedistTime)
 	case scheduler.OpFinish, scheduler.OpFail:
 		dst = appendInt(dst, op.JobID)
+	case scheduler.OpRebalance:
+		// A planning tick carries only its timestamp (already encoded): the
+		// adopted plan is recomputed deterministically on replay.
 	}
 	return dst
 }
@@ -175,6 +184,50 @@ func (d *decoder) topo() (grid.Topology, error) {
 	return grid.Topology{Rows: r, Cols: c}, nil
 }
 
+// spec decodes one job spec produced by appendSpec.
+func (d *decoder) spec(sp *scheduler.JobSpec) error {
+	var err error
+	if sp.Name, err = d.string(); err != nil {
+		return err
+	}
+	if sp.App, err = d.string(); err != nil {
+		return err
+	}
+	if sp.ProblemSize, err = d.int(); err != nil {
+		return err
+	}
+	if sp.BlockSize, err = d.int(); err != nil {
+		return err
+	}
+	if sp.Iterations, err = d.int(); err != nil {
+		return err
+	}
+	if sp.Priority, err = d.int(); err != nil {
+		return err
+	}
+	if sp.InitialTopo, err = d.topo(); err != nil {
+		return err
+	}
+	n, err := d.uint()
+	if err != nil {
+		return err
+	}
+	// Each chain entry is at least two bytes, so n is also bounded by
+	// the remaining payload — reject before allocating.
+	if n > maxChainLen || int(n) > (len(d.b)-d.off)/2 {
+		return d.fail("bad chain length")
+	}
+	if n > 0 {
+		sp.Chain = make([]grid.Topology, n)
+		for i := range sp.Chain {
+			if sp.Chain[i], err = d.topo(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // decodeOp decodes one payload produced by appendOp. It returns
 // ErrBadRecord (wrapped with position detail) on any malformation and
 // never panics, whatever the input.
@@ -191,44 +244,8 @@ func decodeOp(payload []byte) (scheduler.Op, error) {
 	}
 	switch op.Kind {
 	case scheduler.OpSubmit:
-		sp := &op.Spec
-		if sp.Name, err = d.string(); err != nil {
+		if err = d.spec(&op.Spec); err != nil {
 			return op, err
-		}
-		if sp.App, err = d.string(); err != nil {
-			return op, err
-		}
-		if sp.ProblemSize, err = d.int(); err != nil {
-			return op, err
-		}
-		if sp.BlockSize, err = d.int(); err != nil {
-			return op, err
-		}
-		if sp.Iterations, err = d.int(); err != nil {
-			return op, err
-		}
-		if sp.Priority, err = d.int(); err != nil {
-			return op, err
-		}
-		if sp.InitialTopo, err = d.topo(); err != nil {
-			return op, err
-		}
-		n, err := d.uint()
-		if err != nil {
-			return op, err
-		}
-		// Each chain entry is at least two bytes, so n is also bounded by
-		// the remaining payload — reject before allocating.
-		if n > maxChainLen || int(n) > (len(d.b)-d.off)/2 {
-			return op, d.fail("bad chain length")
-		}
-		if n > 0 {
-			sp.Chain = make([]grid.Topology, n)
-			for i := range sp.Chain {
-				if sp.Chain[i], err = d.topo(); err != nil {
-					return op, err
-				}
-			}
 		}
 	case scheduler.OpContact:
 		if op.JobID, err = d.int(); err != nil {
@@ -254,6 +271,8 @@ func decodeOp(payload []byte) (scheduler.Op, error) {
 		if op.JobID, err = d.int(); err != nil {
 			return op, err
 		}
+	case scheduler.OpRebalance:
+		// Timestamp only.
 	default:
 		return op, d.fail(fmt.Sprintf("unknown op kind %d", k))
 	}

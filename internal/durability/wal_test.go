@@ -27,6 +27,7 @@ func sampleOps() []scheduler.Op {
 		{Kind: scheduler.OpResizeComplete, Now: 451.5, JobID: 3, RedistTime: 2.25},
 		{Kind: scheduler.OpFinish, Now: 900, JobID: 0},
 		{Kind: scheduler.OpFail, Now: 1e9, JobID: 1 << 20},
+		{Kind: scheduler.OpRebalance, Now: 1234.5},
 	}
 }
 

@@ -20,6 +20,10 @@ type Interface interface {
 	Finish(jobID int, now float64) ([]*Job, error)
 	// Fail deletes an errored job and recovers its resources.
 	Fail(jobID int, now float64) ([]*Job, error)
+	// Rebalance drives a global-rebalancer planning tick: when the
+	// installed arbiter implements Planner it recomputes its cluster-wide
+	// plan from a caller-less snapshot; otherwise the tick is a no-op.
+	Rebalance(now float64) error
 	// Job looks up a job by id.
 	Job(id int) (*Job, bool)
 	// Jobs returns all jobs in submission order.

@@ -119,6 +119,20 @@ type Arbiter interface {
 	Decide(snap ClusterSnapshot) Decision
 }
 
+// Planner is the optional arbiter extension the global rebalancer
+// implements: Rebalance is invoked on every journaled planning tick
+// (Core.Rebalance) with a caller-less cluster snapshot — snap.Caller is
+// the zero ContactView with ID -1 and must not be consulted — and the
+// implementation recomputes its cluster-wide reallocation plan from it.
+// Plans are arbiter state, delivered as ordinary Decisions at each job's
+// next resize point; Rebalance itself must not assume it can mutate the
+// cluster. Like Decide, calls are serialized by the core's external
+// synchronization, and like Decide the snapshot's Profile pointers alias
+// live scheduler state: read them during the call, never retain them.
+type Planner interface {
+	Rebalance(snap ClusterSnapshot)
+}
+
 // PolicyArbiter adapts a single-job Policy to the Arbiter interface: the
 // cluster snapshot is narrowed to the published RemapInput and the policy
 // decides as if it were wired into Contact directly. It is the behavior of

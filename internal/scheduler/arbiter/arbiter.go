@@ -47,6 +47,19 @@ type BenefitRanked struct {
 	// has never run on (e.g. a perfmodel fit; see simcluster.Predictor).
 	// Without it, unmeasured configurations are treated as probe
 	// candidates, exactly like the published policy.
+	//
+	// Contract: the hook runs inside Decide, while the ClusterSnapshot —
+	// including every ContactView.Profile pointer, which aliases live
+	// scheduler state — is only valid for the duration of the call. A
+	// hook (or the closure it was built from) must not retain the
+	// snapshot, a ContactView, or a Profile pointer beyond the call;
+	// read what you need and copy it out (package
+	// internal/scheduler/rebalance's jobView is the model). It must not
+	// call back into the scheduler (the core's lock is held), and it
+	// must be deterministic — a pure function of (jobID, topology) given
+	// its own fixed inputs — because arbiter decisions are replayed from
+	// the journal on recovery and any divergence forks the recovered
+	// state from the acknowledged history.
 	Predict func(jobID int, t grid.Topology) (float64, bool)
 	// AgingSeconds is the starvation-aging rate (DefaultAgingSeconds when
 	// zero): each full interval a job waits raises its effective priority

@@ -347,6 +347,21 @@ func (c *Core) snapshot(j *Job, now float64) ClusterSnapshot {
 	}
 }
 
+// globalSnapshot assembles the caller-less cluster snapshot a planning
+// tick hands to a Planner arbiter: identical to a contact snapshot except
+// that no job is at a resize point, marked by a zero Caller with ID -1.
+func (c *Core) globalSnapshot(now float64) ClusterSnapshot {
+	return ClusterSnapshot{
+		Now:      now,
+		Total:    c.Total,
+		Idle:     c.pool.Free(),
+		Caller:   ContactView{ID: -1},
+		Queued:   c.queuedWindow(now),
+		QueueLen: c.queue.len(),
+		Cluster:  c,
+	}
+}
+
 // Contact is the Remap Scheduler entry point: a running job reports its
 // latest iteration time (and the redistribution time of its previous
 // resize, if any) from a resize point, and receives the expand/shrink/none

@@ -16,6 +16,8 @@ const (
 	EvResizeDone
 	// EvCompletion is a job finishing its final iteration.
 	EvCompletion
+	// EvRebalance is a global-rebalancer planning tick (carries no job).
+	EvRebalance
 
 	numEventKinds
 )
@@ -31,6 +33,8 @@ func (k EventKind) String() string {
 		return "resize-done"
 	case EvCompletion:
 		return "completion"
+	case EvRebalance:
+		return "rebalance"
 	default:
 		return "unknown"
 	}

@@ -30,6 +30,12 @@ const (
 	OpFinish
 	// OpFail is the job-error/cancel signal (Core.Fail).
 	OpFail
+	// OpRebalance is a global-rebalancer planning tick (Core.Rebalance).
+	// Only the tick's timestamp is journaled: the adopted plan is a pure
+	// function of the core state and the (re-installed) arbiter
+	// configuration, so replaying the tick recomputes the identical plan —
+	// the same argument that lets Contact journal inputs, not decisions.
+	OpRebalance
 )
 
 // String names the op kind.
@@ -45,6 +51,8 @@ func (k OpKind) String() string {
 		return "finish"
 	case OpFail:
 		return "fail"
+	case OpRebalance:
+		return "rebalance"
 	default:
 		return "unknown"
 	}
@@ -110,7 +118,32 @@ func (c *Core) Apply(op Op) error {
 	case OpFail:
 		_, err := c.Fail(op.JobID, op.Now)
 		return err
+	case OpRebalance:
+		return c.Rebalance(op.Now)
 	default:
 		return fmt.Errorf("scheduler: apply: unknown op kind %d", op.Kind)
 	}
+}
+
+// Rebalance is the global rebalancer's planning tick: when the installed
+// arbiter is a Planner, the tick is journaled (write-ahead, like every
+// other input) and the planner recomputes its cluster-wide plan from a
+// caller-less snapshot. With no planner installed the tick is a no-op and
+// nothing is journaled — the arbiter is configuration, and a recovering
+// process installs the same one before replay, so the skip replays
+// identically too.
+//
+// The resulting plan lives inside the arbiter, not the core: directives
+// are delivered through the ordinary Contact path at each job's next
+// resize point, so Rebalance itself mutates no journaled state.
+func (c *Core) Rebalance(now float64) error {
+	pl, ok := c.arb.(Planner)
+	if !ok {
+		return nil
+	}
+	if err := c.journalOp(Op{Kind: OpRebalance, Now: now}); err != nil {
+		return err
+	}
+	pl.Rebalance(c.globalSnapshot(now))
+	return nil
 }

@@ -212,6 +212,30 @@ func (c *LinearCore) snapshot(j *Job, now float64) ClusterSnapshot {
 	}
 }
 
+// globalSnapshot assembles the caller-less planning-tick snapshot
+// (Caller.ID = -1, mirroring Core).
+func (c *LinearCore) globalSnapshot(now float64) ClusterSnapshot {
+	return ClusterSnapshot{
+		Now:      now,
+		Total:    c.Total,
+		Idle:     c.free,
+		Caller:   ContactView{ID: -1},
+		Queued:   c.queuedWindow(now),
+		QueueLen: len(c.queue),
+		Cluster:  c,
+	}
+}
+
+// Rebalance drives a planning tick (reference implementation). The
+// LinearCore has no journal, so unlike Core.Rebalance nothing is
+// persisted; a Planner arbiter simply recomputes its plan.
+func (c *LinearCore) Rebalance(now float64) error {
+	if pl, ok := c.arb.(Planner); ok {
+		pl.Rebalance(c.globalSnapshot(now))
+	}
+	return nil
+}
+
 // Contact is the Remap Scheduler entry point (reference implementation).
 func (c *LinearCore) Contact(jobID int, topo grid.Topology, iterTime, redistTime float64, now float64) (Decision, error) {
 	j, err := beginContact(c.jobs, jobID, topo, iterTime)

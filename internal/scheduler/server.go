@@ -184,6 +184,20 @@ func (s *Server) ResizeComplete(ctx context.Context, jobID int, redistTime float
 	return nil
 }
 
+// Rebalance drives one global-rebalancer planning tick: when the
+// installed arbiter implements Planner, the tick is journaled and the
+// planner recomputes its cluster-wide directive set (delivered at each
+// job's next Contact). The daemon's -rebalance-every ticker calls this
+// periodically; with no Planner installed it is a no-op.
+func (s *Server) Rebalance(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.core.Rebalance(s.Now())
+}
+
 // JobEnd is the System Monitor's job-completion signal.
 func (s *Server) JobEnd(ctx context.Context, jobID int) error {
 	if err := ctx.Err(); err != nil {

@@ -2,6 +2,7 @@ package simcluster
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/grid"
@@ -106,6 +107,35 @@ func (r *Result) MeanQueueWait() float64 {
 	return s / float64(len(r.Jobs))
 }
 
+// QueueWaitP99 is the 99th-percentile queue wait (nearest-rank over all
+// jobs, 0 for an empty result) — the rebalancer's tail-latency gate: a
+// cluster-wide optimizer must not buy mean improvements by starving the
+// unlucky tail.
+func (r *Result) QueueWaitP99() float64 {
+	return r.QueueWaitPercentile(0.99)
+}
+
+// QueueWaitPercentile is the nearest-rank q-th percentile (0 < q <= 1) of
+// queue waits across all jobs.
+func (r *Result) QueueWaitPercentile(q float64) float64 {
+	if len(r.Jobs) == 0 {
+		return 0
+	}
+	waits := make([]float64, len(r.Jobs))
+	for i, j := range r.Jobs {
+		waits[i] = j.QueueWait()
+	}
+	sort.Float64s(waits)
+	rank := int(math.Ceil(q * float64(len(waits))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(waits) {
+		rank = len(waits)
+	}
+	return waits[rank-1]
+}
+
 // MeanTurnaround averages completion-minus-submit over all jobs.
 func (r *Result) MeanTurnaround() float64 {
 	if len(r.Jobs) == 0 {
@@ -134,6 +164,9 @@ type Sim struct {
 	byID    map[int]*jobState
 	pending []JobInput // not yet submitted
 	crashes []crashPlan
+
+	rebalanceEvery float64
+	finished       int // completed jobs; gates rebalance-tick rescheduling
 }
 
 type jobState struct {
@@ -178,6 +211,17 @@ func (s *Sim) WithArbiter(a scheduler.Arbiter) *Sim {
 	return s
 }
 
+// WithRebalance schedules a global-rebalancer planning tick every
+// `every` seconds of virtual time, starting at t=every: each tick calls
+// the core's Rebalance, which drives the installed Planner arbiter (see
+// rebalance.New) and journals the tick when a journal is installed. Ticks
+// stop rescheduling once every job has finished, so the simulation still
+// terminates. A non-positive interval disables ticking.
+func (s *Sim) WithRebalance(every float64) *Sim {
+	s.rebalanceEvery = every
+	return s
+}
+
 // WithCore replaces the scheduler implementation (differential tests and
 // throughput benchmarks swap in LinearCore or a custom-sharded Core). The
 // core must be freshly constructed for a cluster with the same total.
@@ -209,6 +253,24 @@ func Predictor(params *perfmodel.Params, jobs []JobInput) func(jobID int, t grid
 	}
 }
 
+// RedistPredictor builds a perfmodel-backed redistribution-cost estimator
+// for a job mix, suitable for rebalance.Rebalancer.RedistCost: like
+// Predictor, job ids are resolved to AppModels by arrival order.
+func RedistPredictor(params *perfmodel.Params, jobs []JobInput) func(jobID int, from, to grid.Topology) (float64, bool) {
+	arrivals := append([]JobInput{}, jobs...)
+	sort.SliceStable(arrivals, func(i, j int) bool { return arrivals[i].Arrival < arrivals[j].Arrival })
+	models := make([]perfmodel.AppModel, len(arrivals))
+	for i, in := range arrivals {
+		models[i] = in.Model
+	}
+	return func(jobID int, from, to grid.Topology) (float64, bool) {
+		if jobID < 0 || jobID >= len(models) {
+			return 0, false
+		}
+		return params.RedistTime(models[jobID], from, to), true
+	}
+}
+
 // Run executes the simulation to completion and returns the result.
 func (s *Sim) Run() (*Result, error) {
 	if s.core == nil {
@@ -226,8 +288,12 @@ func (s *Sim) Run() (*Result, error) {
 	s.eng.Handle(scheduler.EvArrival, s.handleArrival)
 	s.eng.Handle(scheduler.EvResizePoint, s.handleResizePoint)
 	s.eng.Handle(scheduler.EvResizeDone, s.handleResizeDone)
+	s.eng.Handle(scheduler.EvRebalance, s.handleRebalance)
 	for i := range arrivals {
 		s.eng.At(arrivals[i].Arrival, scheduler.EvArrival, i)
+	}
+	if s.rebalanceEvery > 0 {
+		s.eng.At(s.rebalanceEvery, scheduler.EvRebalance, -1)
 	}
 	if err := s.drain(); err != nil {
 		return nil, err
@@ -300,6 +366,7 @@ func (s *Sim) handleResizePoint(e scheduler.Event) error {
 		if err != nil {
 			return err
 		}
+		s.finished++
 		return s.beginStarted(started, now)
 	}
 
@@ -344,6 +411,19 @@ func (s *Sim) handleResizeDone(e scheduler.Event) error {
 		return err
 	}
 	return s.startIteration(js, e.Time)
+}
+
+// handleRebalance drives one planning tick and schedules the next while
+// any job is still unfinished (the final tick after the last completion
+// simply runs against an empty cluster and stops the chain).
+func (s *Sim) handleRebalance(e scheduler.Event) error {
+	if err := s.core.Rebalance(e.Time); err != nil {
+		return err
+	}
+	if s.finished < len(s.inputs) {
+		s.eng.At(e.Time+s.rebalanceEvery, scheduler.EvRebalance, -1)
+	}
+	return nil
 }
 
 // collect assembles the result. Utilization comes from the core's exact
