@@ -22,6 +22,7 @@ import (
 	"repro/internal/redistrib"
 	"repro/internal/scheduler"
 	"repro/internal/scheduler/arbiter"
+	"repro/internal/scheduler/fairshare"
 	"repro/internal/scheduler/rebalance"
 	"repro/internal/simcluster"
 	"repro/internal/workload"
@@ -227,34 +228,64 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 // BenchmarkArbiter measures cluster-wide arbitration end to end on the
 // contended Table-3-style mix (24 jobs, 3 priority levels, arrivals well
 // above the W1/W2 rate): the published FCFS single-job path versus the
-// benefit-ranked arbiter with a perfmodel predictor. mean-wait-s makes the
-// queue-wait win visible next to the throughput cost of the cluster-wide
-// snapshot reads; CI uploads both series in BENCH_scheduler.json.
+// benefit-ranked arbiter with a perfmodel predictor. mean-wait-s and
+// p99-wait-s make the queue-wait win (and its tail) visible next to the
+// throughput cost of the cluster-wide snapshot reads; the fairshare cases
+// run the three-tenant noisy-neighbor mix and additionally report the
+// steady victims' tail wait as victim-p99-s. CI uploads every series in
+// BENCH_scheduler.json.
 func BenchmarkArbiter(b *testing.B) {
 	params := perfmodel.SystemX()
 	jobs, err := experiments.ContendedMix()
 	if err != nil {
 		b.Fatal(err)
 	}
-	run := func(b *testing.B, mk func(s *simcluster.Sim) *simcluster.Sim) {
-		var wait float64
+	run := func(b *testing.B, jobs []simcluster.JobInput, mk func(s *simcluster.Sim) *simcluster.Sim) *simcluster.Result {
+		var res *simcluster.Result
 		for i := 0; i < b.N; i++ {
-			res, err := mk(simcluster.New(workload.ClusterProcs, simcluster.Dynamic, params, jobs)).Run()
+			r, err := mk(simcluster.New(workload.ClusterProcs, simcluster.Dynamic, params, jobs)).Run()
 			if err != nil {
 				b.Fatal(err)
 			}
-			wait = res.MeanQueueWait()
+			res = r
 		}
-		b.ReportMetric(wait, "mean-wait-s")
+		b.ReportMetric(res.MeanQueueWait(), "mean-wait-s")
+		b.ReportMetric(res.QueueWaitP99(), "p99-wait-s")
 		b.ReportMetric(float64(len(jobs))*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+		return res
 	}
 	b.Run("fcfs", func(b *testing.B) {
-		run(b, func(s *simcluster.Sim) *simcluster.Sim { return s })
+		run(b, jobs, func(s *simcluster.Sim) *simcluster.Sim { return s })
 	})
 	b.Run("benefit-ranked", func(b *testing.B) {
-		run(b, func(s *simcluster.Sim) *simcluster.Sim {
+		run(b, jobs, func(s *simcluster.Sim) *simcluster.Sim {
 			return s.WithArbiter(&arbiter.BenefitRanked{Predict: simcluster.Predictor(params, jobs)})
 		})
+	})
+	noisy, err := experiments.NoisyNeighborMix()
+	if err != nil {
+		b.Fatal(err)
+	}
+	victimP99 := func(res *simcluster.Result) float64 {
+		p := res.TenantQueueWaitP99("victim1")
+		if q := res.TenantQueueWaitP99("victim2"); q > p {
+			p = q
+		}
+		return p
+	}
+	b.Run("benefit-noisy", func(b *testing.B) {
+		res := run(b, noisy, func(s *simcluster.Sim) *simcluster.Sim {
+			return s.WithArbiter(&arbiter.BenefitRanked{Predict: simcluster.Predictor(params, noisy)})
+		})
+		b.ReportMetric(victimP99(res), "victim-p99-s")
+	})
+	b.Run("fairshare-noisy", func(b *testing.B) {
+		res := run(b, noisy, func(s *simcluster.Sim) *simcluster.Sim {
+			fs := fairshare.New(nil)
+			fs.Inner = &arbiter.BenefitRanked{Predict: simcluster.Predictor(params, noisy)}
+			return s.WithArbiter(fs)
+		})
+		b.ReportMetric(victimP99(res), "victim-p99-s")
 	})
 }
 

@@ -38,6 +38,7 @@ func main() {
 	cols := flag.Int("cols", 2, "initial grid columns")
 	maxProcs := flag.Int("max", 16, "largest processor count in the configuration chain")
 	priority := flag.Int("priority", 0, "scheduler priority: higher starts sooner; waiting jobs age upward under the arbiter, so low priorities cannot starve")
+	tenant := flag.String("tenant", "", "tenant identity: tags submitted jobs for fair-share scheduling and attributes every request to the tenant's admission quota")
 	wait := flag.Bool("wait", false, "block until the job completes")
 	flag.Parse()
 
@@ -48,7 +49,7 @@ func main() {
 		defer cancel()
 	}
 
-	cl, err := reshape.Dial(*addr, reshape.WithDialTimeout(5*time.Second))
+	cl, err := reshape.Dial(*addr, reshape.WithDialTimeout(5*time.Second), reshape.WithTenant(*tenant))
 	if err != nil {
 		fail(err)
 	}
@@ -93,8 +94,12 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("submitted job %d (%s, %s, n=%d, priority %d) starting on %v\n",
-		id, *name, *app, *n, *priority, initial)
+	who := ""
+	if *tenant != "" {
+		who = fmt.Sprintf(", tenant %s", *tenant)
+	}
+	fmt.Printf("submitted job %d (%s, %s, n=%d, priority %d%s) starting on %v\n",
+		id, *name, *app, *n, *priority, who, initial)
 	if *wait {
 		// Follow the job's own event stream while waiting — the v2 watch
 		// replaces v1's connection-pinning blocking wait.
@@ -129,9 +134,17 @@ func printStatus(ctx context.Context, cl *reshape.Client) {
 	}
 	fmt.Printf("processors: %d total, %d busy, %d free; %d job(s) queued\n",
 		st.Total, st.Busy, st.Free, st.QueueLen)
+	for _, u := range st.Tenants {
+		fmt.Printf("tenant %-12s running=%-3d queued=%-3d procs=%d\n",
+			u.Tenant, u.Running, u.Queued, u.Procs)
+	}
 	for _, j := range st.Jobs {
-		fmt.Printf("job %d %-12s %-8s %-8s prio=%-2d topo=%-7v procs=%-3d submit=%.1f start=%.1f end=%.1f\n",
-			j.ID, j.Name, j.App, j.State, j.Priority, j.Topo, j.Procs, j.Submit, j.Start, j.End)
+		who := ""
+		if j.Tenant != "" {
+			who = " tenant=" + j.Tenant
+		}
+		fmt.Printf("job %d %-12s %-8s %-8s prio=%-2d topo=%-7v procs=%-3d submit=%.1f start=%.1f end=%.1f%s\n",
+			j.ID, j.Name, j.App, j.State, j.Priority, j.Topo, j.Procs, j.Submit, j.Start, j.End, who)
 	}
 }
 

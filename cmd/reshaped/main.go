@@ -21,6 +21,8 @@
 //	reshaped -procs 1024 -shards 16    # sharded pool for large clusters
 //	reshaped -procs 64 -arbiter benefit  # cluster-wide benefit-ranked arbitration
 //	reshaped -procs 64 -wal-dir /var/lib/reshaped  # durable control plane
+//	reshaped -procs 64 -arbiter fairshare -tenant-weights acme=3,beta=1 \
+//	    -tenant-rate 50 -tenant-inflight 64   # multi-tenant fair share + quotas
 //
 // Submit jobs with reshape-submit.
 package main
@@ -39,6 +41,7 @@ import (
 	"repro/internal/rpc"
 	"repro/internal/scheduler"
 	"repro/internal/scheduler/arbiter"
+	"repro/internal/scheduler/fairshare"
 	"repro/internal/scheduler/rebalance"
 	sdk "repro/pkg/reshape"
 )
@@ -49,7 +52,21 @@ func main() {
 	backfill := flag.Bool("backfill", true, "enable simple backfill in addition to FCFS")
 	shards := flag.Int("shards", 0, "processor-pool shard count (0 = one shard per 64 processors)")
 	arb := flag.String("arbiter", "fcfs",
-		"resize arbitration: fcfs (published single-job policy), benefit (cluster-wide benefit ranking with priorities, aging and coordinated shrink) or rebalance (benefit plus periodic curve-driven global replanning; see -rebalance-every)")
+		"resize arbitration: fcfs (published single-job policy), benefit (cluster-wide benefit ranking with priorities, aging and coordinated shrink), fairshare (tenant-weighted shares arbitrated above benefit; see -tenant-weights) or rebalance (benefit plus periodic curve-driven global replanning; see -rebalance-every)")
+	tenantWeights := flag.String("tenant-weights", "",
+		"fair-share weights as tenant=weight pairs, e.g. \"acme=3,beta=1\" (unlisted tenants weigh 1; requires -arbiter fairshare)")
+	tenantRate := flag.Float64("tenant-rate", 0,
+		"admission control: sustained requests/sec allowed per tenant (0 = unlimited)")
+	tenantBurst := flag.Int("tenant-burst", 0,
+		"admission control: per-tenant burst size (0 = derived from -tenant-rate)")
+	tenantInflight := flag.Int("tenant-inflight", 0,
+		"admission control: concurrent in-flight requests allowed per tenant, blocking waits and watches included (0 = unlimited)")
+	connRate := flag.Float64("conn-rate", 0,
+		"admission control: sustained requests/sec allowed per rpc/v2 connection (0 = unlimited)")
+	connBurst := flag.Int("conn-burst", 0,
+		"admission control: per-connection burst size (0 = derived from -conn-rate)")
+	connInflight := flag.Int("conn-inflight", 0,
+		"admission control: concurrent in-flight requests allowed per rpc/v2 connection (0 = unlimited)")
 	rebalanceEvery := flag.Duration("rebalance-every", 0,
 		"global-rebalancer planning-tick interval (0 = ticks disabled; requires -arbiter rebalance to have any effect)")
 	walDir := flag.String("wal-dir", "",
@@ -66,6 +83,9 @@ func main() {
 	// The arbiter is configuration, not journaled state: a recovering
 	// daemon must install the same arbitration the previous process ran
 	// before any journal record replays through the core.
+	if *tenantWeights != "" && *arb != "fairshare" {
+		log.Printf("reshaped: -tenant-weights is set but -arbiter is %q; weights will be ignored", *arb)
+	}
 	configure := func(core *scheduler.Core) error {
 		switch *arb {
 		case "fcfs":
@@ -74,11 +94,18 @@ func main() {
 		case "benefit":
 			core.SetArbiter(&arbiter.BenefitRanked{})
 			return nil
+		case "fairshare":
+			weights, err := fairshare.ParseWeights(*tenantWeights)
+			if err != nil {
+				return fmt.Errorf("reshaped: %w", err)
+			}
+			core.SetArbiter(fairshare.New(weights))
+			return nil
 		case "rebalance":
 			core.SetArbiter(rebalance.New(nil))
 			return nil
 		default:
-			return fmt.Errorf("reshaped: unknown -arbiter %q (want fcfs, benefit or rebalance)", *arb)
+			return fmt.Errorf("reshaped: unknown -arbiter %q (want fcfs, benefit, fairshare or rebalance)", *arb)
 		}
 	}
 
@@ -152,7 +179,11 @@ func main() {
 		}
 	}
 
-	rpcSrv, err := rpc.Serve(*addr, srv, rpc.WithLogf(log.Printf))
+	limits := rpc.Limits{
+		TenantRate: *tenantRate, TenantBurst: *tenantBurst, TenantInflight: *tenantInflight,
+		ConnRate: *connRate, ConnBurst: *connBurst, ConnInflight: *connInflight,
+	}
+	rpcSrv, err := rpc.Serve(*addr, srv, rpc.WithLogf(log.Printf), rpc.WithLimits(limits))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -163,6 +194,11 @@ func main() {
 	}
 	log.Printf("reshaped: %d processors in %d pool shard(s), %s arbitration, %s, listening on %s (rpc v1+v2)",
 		core.Total, core.Pool().NumShards(), *arb, durable, rpcSrv.Addr())
+	if limits != (rpc.Limits{}) {
+		log.Printf("reshaped: admission control on (tenant %.3g req/s burst %d inflight %d; conn %.3g req/s burst %d inflight %d)",
+			limits.TenantRate, limits.TenantBurst, limits.TenantInflight,
+			limits.ConnRate, limits.ConnBurst, limits.ConnInflight)
+	}
 
 	stopTicks := make(chan struct{})
 	if *rebalanceEvery > 0 {
@@ -191,8 +227,8 @@ func main() {
 	<-sig
 	close(stopTicks)
 	st := rpcSrv.Stats()
-	log.Printf("reshaped: shutting down (%d v1 conns, %d v2 conns, %d requests, %d watches, %d malformed)",
-		st.V1Conns, st.V2Conns, st.Requests, st.Watches, st.Malformed)
+	log.Printf("reshaped: shutting down (%d v1 conns, %d v2 conns, %d requests, %d watches, %d malformed, %d shed)",
+		st.V1Conns, st.V2Conns, st.Requests, st.Watches, st.Malformed, st.Shed)
 	_ = rpcSrv.Close()
 	if store != nil {
 		if err := store.Close(); err != nil {

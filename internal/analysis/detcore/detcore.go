@@ -30,6 +30,11 @@ var Scope = []string{
 	// rebalancer's plan computation is deliberately in scope: a planner
 	// that read the wall clock or ranged a map would break replay.
 	"repro/internal/scheduler/rebalance",
+	// Likewise subsumed: fair-share arbitration (tenant shares, deficit
+	// picks) replays from the journal, so PickStart/Decide must be pure
+	// functions of the snapshot — sorted tenant order, no clocks, no maps
+	// ranged into decisions.
+	"repro/internal/scheduler/fairshare",
 	"repro/internal/durability",
 	"repro/internal/simcluster",
 	"repro/internal/redistrib",

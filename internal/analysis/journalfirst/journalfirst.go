@@ -32,6 +32,10 @@ var Scope = []string{"repro/internal/scheduler"}
 var GuardedFields = map[string]map[string]bool{
 	"Core": set("nextID", "jobs", "queue", "running", "busySeconds", "lastBusy", "lastBusyTime", "Events"),
 	"Job":  set("State", "Topo", "grant", "pendingFree", "resizeFrom", "Profile", "SubmitTime", "StartTime", "EndTime"),
+	// The tenant tag is journaled with the submit record and drives
+	// fair-share arbitration on replay: rewriting it after acknowledgment
+	// would silently shift the job between tenants' shares.
+	"JobSpec": set("Tenant"),
 }
 
 // AllowedFiles are the state machine's files: the five journaled entry

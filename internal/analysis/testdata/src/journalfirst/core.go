@@ -1,9 +1,17 @@
 // core.go is an allowed state-machine file: every write below is legal.
 package journalfirst
 
+// JobSpec mirrors the scheduler's job specification: the tenant tag is
+// journaled with the submit record, so it is guarded like Core/Job state.
+type JobSpec struct {
+	Name   string // not journaled state in the guarded sense: label only
+	Tenant string
+}
+
 // Job mirrors the scheduler's job record (guarded fields by name).
 type Job struct {
 	ID          int
+	Spec        JobSpec
 	State       int
 	Topo        int
 	pendingFree int
@@ -25,4 +33,5 @@ func (c *Core) Submit(j *Job) {
 	c.jobs[j.ID] = j
 	c.Events = append(c.Events, j.ID)
 	j.State = 1
+	j.Spec.Tenant = "stamped-at-submit"
 }

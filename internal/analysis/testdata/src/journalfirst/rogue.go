@@ -10,6 +10,8 @@ func Hijack(c *Core, j *Job) {
 	j.State = 2                     // want "write to journaled state Job.State"
 	j.pendingFree += 4              // want "write to journaled state Job.pendingFree"
 	j.EndTime = 1.5                 // want "write to journaled state Job.EndTime"
+	j.Spec.Tenant = "stolen"        // want "write to journaled state JobSpec.Tenant"
+	j.Spec.Name = "renamed"         // labels are not journaled state: legal
 }
 
 // Configure touches configuration, not journaled state: legal anywhere.

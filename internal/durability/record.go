@@ -67,7 +67,10 @@ func appendTopo(dst []byte, t grid.Topology) []byte {
 }
 
 // appendSpec encodes one job spec (shared by the OpSubmit record and the
-// snapshot's per-job image).
+// snapshot's per-job image). The Tenant field joined the encoding with the
+// fair-share subsystem; logs written before it decode as ErrBadRecord
+// (trailing-byte check) rather than silently dropping the field, matching
+// the snapshot codec's magic bump to RSHSNAP3.
 func appendSpec(dst []byte, sp scheduler.JobSpec) []byte {
 	dst = appendString(dst, sp.Name)
 	dst = appendString(dst, sp.App)
@@ -75,6 +78,7 @@ func appendSpec(dst []byte, sp scheduler.JobSpec) []byte {
 	dst = appendInt(dst, sp.BlockSize)
 	dst = appendInt(dst, sp.Iterations)
 	dst = appendInt(dst, sp.Priority)
+	dst = appendString(dst, sp.Tenant)
 	dst = appendTopo(dst, sp.InitialTopo)
 	dst = appendUint(dst, uint64(len(sp.Chain)))
 	for _, t := range sp.Chain {
@@ -203,6 +207,9 @@ func (d *decoder) spec(sp *scheduler.JobSpec) error {
 		return err
 	}
 	if sp.Priority, err = d.int(); err != nil {
+		return err
+	}
+	if sp.Tenant, err = d.string(); err != nil {
 		return err
 	}
 	if sp.InitialTopo, err = d.topo(); err != nil {

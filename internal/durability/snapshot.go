@@ -21,9 +21,11 @@ var ErrSnapshotCorrupt = errors.New("durability: corrupt snapshot")
 // RSHSNAP2 replaced gob with the WAL's hand-rolled varint codec: at 100k
 // jobs the reflective gob decode made restoring a snapshot *slower* than
 // replaying the log it summarized (~360ms vs ~195ms), inverting the whole
-// point of snapshotting. RSHSNAP1 files are treated as corrupt and
-// recovery falls back to replay — exactly the path they were summarizing.
-const snapMagic = "RSHSNAP2"
+// point of snapshotting. RSHSNAP3 added the job spec's Tenant field for
+// the fair-share subsystem. Files with older magics are treated as corrupt
+// and recovery falls back to replay — exactly the path they were
+// summarizing.
+const snapMagic = "RSHSNAP3"
 
 // snapshotBlob is a snapshot file's payload: the scheduler image plus the
 // continuity values a recovered Server needs.

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/perfmodel"
+	"repro/internal/scheduler/arbiter"
+	"repro/internal/scheduler/fairshare"
+	"repro/internal/simcluster"
+	"repro/internal/workload"
+)
+
+// TestFairshareProtectsVictims is the noisy-neighbor acceptance gate of
+// the fair-share subsystem: with one tenant bursting 10x over two steady
+// tenants, each victim's p99 queue wait under the fair-share arbiter must
+// be strictly better than under tenant-blind benefit arbitration. The
+// measured values are recorded in DESIGN.md's "Fair-share and admission
+// control" section.
+func TestFairshareProtectsVictims(t *testing.T) {
+	rows, err := FairShareComparison(perfmodel.SystemX())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(rows))
+	}
+	for _, r := range rows {
+		t.Logf("%-8s jobs=%2d  mean wait %7.1fs -> %7.1fs  p99 %7.1fs -> %7.1fs",
+			r.Tenant, r.Jobs, r.BenefitWait, r.FairWait, r.BenefitP99, r.FairP99)
+	}
+	for _, r := range rows[1:] { // victim1, victim2
+		if r.FairP99 >= r.BenefitP99 {
+			t.Errorf("%s: fair-share p99 wait %.1fs not better than benefit %.1fs",
+				r.Tenant, r.FairP99, r.BenefitP99)
+		}
+	}
+}
+
+// TestFairshareSingleTenantBitIdentical pins the degeneracy contract of
+// the fair-share arbiter: on the paper's single-tenant workloads W1 and W2
+// the fair-share wrapper must reproduce the bare benefit-ranked arbiter's
+// schedule bit for bit — same allocation-event trace, same per-job
+// timings. This is what lets reshaped default tenant-less deployments onto
+// fairshare without a behavioral diff.
+func TestFairshareSingleTenantBitIdentical(t *testing.T) {
+	params := perfmodel.SystemX()
+	for _, w := range []struct {
+		name string
+		jobs []simcluster.JobInput
+	}{{"W1", workload.W1()}, {"W2", workload.W2()}} {
+		bare, err := simcluster.New(workload.ClusterProcs, simcluster.Dynamic, params, w.jobs).
+			WithArbiter(&arbiter.BenefitRanked{Predict: simcluster.Predictor(params, w.jobs)}).
+			Run()
+		if err != nil {
+			t.Fatalf("%s bare: %v", w.name, err)
+		}
+		fs := fairshare.New(map[string]float64{"unused": 2}) // weights are inert without tenants
+		fs.Inner = &arbiter.BenefitRanked{Predict: simcluster.Predictor(params, w.jobs)}
+		wrapped, err := simcluster.New(workload.ClusterProcs, simcluster.Dynamic, params, w.jobs).
+			WithArbiter(fs).
+			Run()
+		if err != nil {
+			t.Fatalf("%s wrapped: %v", w.name, err)
+		}
+		if bare.Makespan != wrapped.Makespan || bare.Utilization != wrapped.Utilization {
+			t.Fatalf("%s: makespan/util diverge: %v/%v vs %v/%v", w.name,
+				bare.Makespan, bare.Utilization, wrapped.Makespan, wrapped.Utilization)
+		}
+		if len(bare.Events) != len(wrapped.Events) {
+			t.Fatalf("%s: event counts %d vs %d", w.name, len(bare.Events), len(wrapped.Events))
+		}
+		for i := range bare.Events {
+			if bare.Events[i] != wrapped.Events[i] {
+				t.Fatalf("%s: trace diverges at %d: %+v vs %+v", w.name, i,
+					bare.Events[i], wrapped.Events[i])
+			}
+		}
+		for i := range bare.Jobs {
+			if bare.Jobs[i].Start != wrapped.Jobs[i].Start || bare.Jobs[i].End != wrapped.Jobs[i].End {
+				t.Fatalf("%s: job %q schedule diverged", w.name, bare.Jobs[i].Name)
+			}
+		}
+	}
+}

@@ -21,6 +21,7 @@ type Client struct {
 	addr        string
 	poolSize    int
 	dialTimeout time.Duration
+	tenant      string
 	logf        func(format string, args ...any)
 
 	mu     sync.Mutex
@@ -57,6 +58,13 @@ func WithDialTimeout(d time.Duration) Option {
 // dropped subscriptions). The default discards them.
 func WithLogf(logf func(format string, args ...any)) Option {
 	return func(c *Client) { c.logf = logf }
+}
+
+// WithTenant sets the tenant identity stamped on every request the client
+// sends: the server's admission control attributes quota to it, and jobs
+// submitted with no Spec.Tenant of their own are tagged with it.
+func WithTenant(tenant string) Option {
+	return func(c *Client) { c.tenant = tenant }
 }
 
 // Dial creates a client for the daemon at addr and establishes the first
@@ -316,6 +324,12 @@ type ServerError struct {
 
 func (e *ServerError) Error() string { return fmt.Sprintf("reshape: server: %s", e.Msg) }
 
+// Is makes errors.Is(err, rpc.ErrOverload) match admission-control sheds
+// relayed over the wire (Code rpc.CodeOverload).
+func (e *ServerError) Is(target error) bool {
+	return target == rpc.ErrOverload && e.Code == rpc.CodeOverload
+}
+
 // errServerSide reports whether err came from the scheduler rather than
 // the transport (server-side errors must not be retried — the op ran).
 func errServerSide(err error) bool {
@@ -331,6 +345,9 @@ func errServerSide(err error) bool {
 func (c *Client) call(ctx context.Context, f rpc.Frame, idempotent bool) (rpc.Reply, error) {
 	if err := ctx.Err(); err != nil {
 		return rpc.Reply{}, err
+	}
+	if f.Tenant == "" {
+		f.Tenant = c.tenant
 	}
 	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {
@@ -502,7 +519,7 @@ func (c *Client) watchLoop(ctx context.Context, jobID int, out chan<- scheduler.
 			}
 			continue
 		}
-		if err := cn.send(rpc.Frame{ID: id, Op: rpc.OpWatch, JobID: jobID}); err != nil {
+		if err := cn.send(rpc.Frame{ID: id, Op: rpc.OpWatch, JobID: jobID, Tenant: c.tenant}); err != nil {
 			if !sleep() {
 				return
 			}

@@ -1,0 +1,11 @@
+//go:build race
+
+package rpc_test
+
+// Scaled-down fan-out stress for the race-instrumented CI lane: same
+// topology (many multiplexed subscriptions per connection, one wedged
+// connection), 100x fewer subscribers.
+const (
+	fanoutConns       = 10
+	fanoutSubsPerConn = 50
+)

@@ -1,0 +1,200 @@
+package rpc_test
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/rpc"
+	"repro/internal/scheduler"
+)
+
+// TestWatchFanOutStress floods the v2 watch broker: fanoutConns
+// connections each holding fanoutSubsPerConn multiplexed AllJobs
+// subscriptions (~50k subscribers in the non-race build), plus one wedged
+// connection that subscribes identically and then never reads a byte.
+// Every healthy subscriber must receive every event of three submitted
+// jobs, and the wedged connection must cost the healthy ones nothing: its
+// dispatch goroutines block on its dead socket, its subscription buffers
+// overflow, and the broker drops its events instead of stalling the
+// scheduler lock.
+func TestWatchFanOutStress(t *testing.T) {
+	sched := scheduler.NewServer(16, false, nil)
+	srv, err := rpc.Serve("127.0.0.1:0", sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	subscribe := func(nc net.Conn) error {
+		if _, err := nc.Write([]byte{rpc.MagicV2}); err != nil {
+			return err
+		}
+		fw := rpc.NewFrameWriter(nc)
+		for id := 1; id <= fanoutSubsPerConn; id++ {
+			if err := fw.Write(rpc.Frame{ID: uint64(id), Op: rpc.OpWatch, JobID: scheduler.AllJobs}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	got := make([]atomic.Int64, fanoutConns)
+	for i := 0; i < fanoutConns; i++ {
+		nc, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer nc.Close()
+		if err := subscribe(nc); err != nil {
+			t.Fatal(err)
+		}
+		go func(i int, nc net.Conn) {
+			fr := rpc.NewFrameReader(bufio.NewReader(nc))
+			for {
+				var r rpc.Reply
+				if err := fr.Read(&r); err != nil {
+					return
+				}
+				if r.Event != nil {
+					got[i].Add(1)
+				}
+			}
+		}(i, nc)
+	}
+	// The wedged connection: full set of subscriptions, zero reads.
+	wedged, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wedged.Close()
+	if err := subscribe(wedged); err != nil {
+		t.Fatal(err)
+	}
+
+	// OpWatch frames dispatch concurrently; wait until the broker has every
+	// subscriber registered before generating events, so "received all
+	// events" is exact.
+	wantSubs := (fanoutConns + 1) * fanoutSubsPerConn
+	deadline := time.Now().Add(60 * time.Second)
+	for sched.Subscribers() < wantSubs {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d subscriptions registered", sched.Subscribers(), wantSubs)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Three jobs on a 16-processor pool: all start immediately, so each
+	// subscriber is owed exactly 6 events (3 submits + 3 starts).
+	ctx := context.Background()
+	cl := &rpc.Client{Addr: srv.Addr()}
+	start := grid.Topology{Rows: 2, Cols: 2}
+	for i := 0; i < 3; i++ {
+		if _, err := cl.Submit(ctx, scheduler.JobSpec{
+			Name: fmt.Sprintf("j%d", i), App: "lu", ProblemSize: 8000, Iterations: 10,
+			InitialTopo: start, Chain: []grid.Topology{start},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	want := int64(6 * fanoutSubsPerConn)
+	for {
+		done := 0
+		for i := range got {
+			if got[i].Load() >= want {
+				done++
+			}
+		}
+		if done == fanoutConns {
+			break
+		}
+		if time.Now().After(deadline) {
+			short := 0
+			for i := range got {
+				if got[i].Load() < want {
+					short++
+				}
+			}
+			t.Fatalf("%d of %d healthy connections still short of %d events (wedged connection stalled the broker?)",
+				short, fanoutConns, want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for i := range got {
+		if n := got[i].Load(); n != want {
+			t.Errorf("conn %d received %d events, want exactly %d", i, n, want)
+		}
+	}
+	// The control plane must still answer while the wedged connection's
+	// dispatch goroutines sit blocked on its socket.
+	if _, err := cl.Status(ctx); err != nil {
+		t.Fatalf("scheduler unresponsive alongside a wedged watcher: %v", err)
+	}
+}
+
+// TestWatchDropOnLagIsolation pins the broker's overload behavior at the
+// scheduler level: a subscriber that never drains its channel loses events
+// — counted on its Subscription — while a draining subscriber alongside it
+// receives every event and the publishing path (job submission) never
+// blocks.
+func TestWatchDropOnLagIsolation(t *testing.T) {
+	srv := scheduler.NewServer(4, false, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	fast, err := srv.Watch(ctx, scheduler.AllJobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fastGot atomic.Int64
+	go func() {
+		for range fast.C {
+			fastGot.Add(1)
+		}
+	}()
+	slow, err := srv.Watch(ctx, scheduler.AllJobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 400 submissions on a 4-processor pool: one start, 399 queued — 401
+	// events, comfortably past the 256-event subscription buffer. The
+	// submit loop paces itself to the draining subscriber (publish, wait
+	// until consumed), so "draining" holds by construction while the
+	// lagging subscriber falls arbitrarily behind.
+	const wantEvents = 401
+	deadline := time.Now().Add(30 * time.Second)
+	start := grid.Topology{Rows: 2, Cols: 2}
+	for i := 0; i < 400; i++ {
+		if _, err := srv.Submit(ctx, scheduler.JobSpec{
+			Name: fmt.Sprintf("q%d", i), App: "lu", ProblemSize: 8000, Iterations: 10,
+			InitialTopo: start, Chain: []grid.Topology{start},
+		}); err != nil {
+			t.Fatalf("submit %d blocked or failed behind a lagging watcher: %v", i, err)
+		}
+		published := int64(i + 2) // i+1 submit events plus job 0's start
+		for fastGot.Load() < published {
+			if time.Now().After(deadline) {
+				t.Fatalf("draining subscriber got %d of %d events", fastGot.Load(), published)
+			}
+			time.Sleep(time.Microsecond)
+		}
+	}
+	if fastGot.Load() != wantEvents {
+		t.Fatalf("draining subscriber got %d of %d events", fastGot.Load(), wantEvents)
+	}
+	if fast.Dropped() != 0 {
+		t.Errorf("draining subscriber dropped %d events", fast.Dropped())
+	}
+	if d := slow.Dropped(); d == 0 {
+		t.Error("lagging subscriber reports no drops after overflowing its buffer")
+	} else if d != wantEvents-256 {
+		t.Errorf("lagging subscriber dropped %d events, want %d (channel depth 256)", d, wantEvents-256)
+	}
+}

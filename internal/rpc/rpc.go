@@ -47,7 +47,10 @@ const (
 
 // Request is the v1 wire request envelope.
 type Request struct {
-	Op         Op
+	Op Op
+	// Tenant attributes the request for admission control (see
+	// Frame.Tenant for the v2 counterpart and the stamping rule).
+	Tenant     string
 	JobID      int
 	Topo       grid.Topology
 	IterTime   float64
@@ -73,6 +76,7 @@ type Stats struct {
 	Malformed    uint64 // undecodable frames / unknown ops rejected
 	Watches      uint64 // v2 watch subscriptions opened
 	AcceptErrors uint64 // transient listener Accept failures
+	Shed         uint64 // requests shed by admission control (never dispatched)
 }
 
 // Server serves scheduler requests over TCP, speaking both protocol
@@ -99,7 +103,14 @@ type Server struct {
 	malformed    atomic.Uint64
 	watches      atomic.Uint64
 	acceptErrors atomic.Uint64
+	shed         atomic.Uint64
 	lastErr      atomic.Value // error
+
+	// Admission control (see admission.go). limits is fixed at Serve time;
+	// admTenants grows one entry per distinct tenant name.
+	limits     Limits
+	admMu      sync.Mutex
+	admTenants map[string]*admEntry
 }
 
 // ServerOption configures Serve.
@@ -147,6 +158,7 @@ func (s *Server) Stats() Stats {
 		Malformed:    s.malformed.Load(),
 		Watches:      s.watches.Load(),
 		AcceptErrors: s.acceptErrors.Load(),
+		Shed:         s.shed.Load(),
 	}
 }
 
@@ -281,6 +293,12 @@ func (s *Server) handleV1(conn net.Conn, br *bufio.Reader) {
 		})
 		return
 	}
+	release, ok := s.admit(requestTenant(req.Op, req.Tenant, &req.Spec), nil)
+	if !ok {
+		_ = gob.NewEncoder(conn).Encode(Response{Err: ErrOverload.Error(), Code: CodeOverload})
+		return
+	}
+	defer release()
 	resp := s.dispatch(req)
 	_ = gob.NewEncoder(conn).Encode(resp)
 }
@@ -354,6 +372,10 @@ func (s *Server) dispatch(req Request) Response {
 // the reshape package (rpc/v2) for anything performance-sensitive.
 type Client struct {
 	Addr string
+	// Tenant, when set, attributes every request to that tenant for
+	// server-side admission control and tags submitted jobs whose spec
+	// carries no tenant of its own.
+	Tenant string
 	// DialTimeout bounds connection establishment when the call context
 	// carries no deadline (default 10s).
 	DialTimeout time.Duration
@@ -370,6 +392,9 @@ var _ resize.Scheduler = (*Client)(nil)
 func (c *Client) call(ctx context.Context, req Request) (Response, error) {
 	if err := ctx.Err(); err != nil {
 		return Response{}, err
+	}
+	if req.Tenant == "" {
+		req.Tenant = c.Tenant
 	}
 	dialTimeout := c.DialTimeout
 	if dialTimeout <= 0 {
@@ -403,6 +428,9 @@ func (c *Client) call(ctx context.Context, req Request) (Response, error) {
 			return Response{}, ctx.Err()
 		}
 		return Response{}, fmt.Errorf("rpc: decode: %w", err)
+	}
+	if resp.Code == CodeOverload {
+		return resp, ErrOverload
 	}
 	if resp.Err != "" {
 		return resp, fmt.Errorf("rpc: server: %s", resp.Err)

@@ -27,6 +27,10 @@ type v2conn struct {
 	mu       sync.Mutex
 	inflight map[uint64]context.CancelFunc
 
+	// adm is this connection's admission scope (nil when the server has no
+	// limits configured).
+	adm *admEntry
+
 	reqs sync.WaitGroup
 }
 
@@ -41,6 +45,9 @@ func (s *Server) serveV2(conn net.Conn, br io.Reader) {
 		ctx:      ctx,
 		cancel:   cancel,
 		inflight: make(map[uint64]context.CancelFunc),
+	}
+	if s.limits.enabled() {
+		c.adm = &admEntry{}
 	}
 	defer c.reqs.Wait()
 	defer cancel()
@@ -140,6 +147,14 @@ func (c *v2conn) dispatch(f Frame) {
 		return
 	}
 	defer c.unregister(f.ID)
+	// Admission control runs before the scheduler sees the request; a
+	// blocking op (Wait, Watch) holds its slots until the stream ends.
+	release, admitted := s.admit(requestTenant(f.Op, f.Tenant, &f.Spec), c.adm)
+	if !admitted {
+		final(Reply{Err: ErrOverload.Error(), Code: CodeOverload})
+		return
+	}
+	defer release()
 	fail := func(err error) {
 		if ctx.Err() != nil {
 			final(Reply{Err: "rpc: request cancelled", Code: CodeCancelled})

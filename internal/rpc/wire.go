@@ -51,14 +51,22 @@ const (
 	CodeApp = "app"
 	// CodeCancelled marks requests terminated by OpCancel or shutdown.
 	CodeCancelled = "cancelled"
+	// CodeOverload marks requests shed by admission control (see
+	// ErrOverload); the request never reached the scheduler and may be
+	// retried after backing off.
+	CodeOverload = "overload"
 )
 
 // Frame is the v2 client→server request envelope.
 type Frame struct {
 	// ID matches replies to requests; it must be nonzero and unique among
 	// the connection's in-flight requests.
-	ID         uint64
-	Op         Op
+	ID uint64
+	Op Op
+	// Tenant attributes the request for admission control and, on submits
+	// with an unset Spec.Tenant, tags the submitted job. Typed clients
+	// stamp it from their configured identity (reshape.WithTenant).
+	Tenant     string
 	JobID      int
 	Topo       grid.Topology
 	IterTime   float64

@@ -21,7 +21,9 @@ import "repro/internal/grid"
 // The Profile pointer aliases live scheduler state: arbiters must treat it
 // as immutable and must not retain it across calls.
 type ContactView struct {
-	ID       int
+	ID int
+	// Tenant is the submitting principal ("" for the default tenant).
+	Tenant   string
 	Priority int
 	Topo     grid.Topology
 	Chain    []grid.Topology
@@ -38,7 +40,9 @@ type ContactView struct {
 
 // QueuedView is a read-only view of one waiting job.
 type QueuedView struct {
-	ID       int
+	ID int
+	// Tenant is the submitting principal ("" for the default tenant).
+	Tenant   string
 	Priority int
 	// Need is the job's initial processor requirement.
 	Need int
@@ -131,6 +135,38 @@ type Arbiter interface {
 // live scheduler state: read them during the call, never retain them.
 type Planner interface {
 	Rebalance(snap ClusterSnapshot)
+}
+
+// StartSnapshot is the view Core hands a StartPicker before each queue
+// start: one QueuedView per tenant with waiting jobs — that tenant's queue
+// head, in ascending tenant order — plus pool occupancy and lazy access to
+// the running set. Like ClusterSnapshot, everything here is read-only and
+// must not be retained across calls.
+type StartSnapshot struct {
+	// Now is the scheduler clock at the scheduling attempt.
+	Now float64
+	// Total and Idle describe the processor pool.
+	Total int
+	Idle  int
+	// Heads has each tenant's best queued job (queue order within the
+	// tenant), sorted by ascending tenant name. Never empty.
+	Heads []QueuedView
+	// Cluster lazily exposes every running job.
+	Cluster ClusterView
+}
+
+// StartPicker is the optional arbiter extension a fair-share scheduler
+// implements to control *which tenant's* job starts next. Core.TrySchedule
+// consults it in a loop: PickStart returns the index into snap.Heads of the
+// job to start, or a negative value to start nothing this round (leaving
+// the idle pool for backfill, if enabled). Within a tenant, order remains
+// the queue's own (priority, then submission id) — the picker only chooses
+// among tenants. Implementations must be deterministic functions of the
+// snapshot and their own journaled-input-derived state, exactly like
+// Decide; LinearCore, the pre-tenant reference, never consults the
+// extension.
+type StartPicker interface {
+	PickStart(snap StartSnapshot) int
 }
 
 // PolicyArbiter adapts a single-job Policy to the Arbiter interface: the

@@ -48,6 +48,7 @@ func remainingIters(j *Job) int {
 func contactView(j *Job) ContactView {
 	return ContactView{
 		ID:             j.ID,
+		Tenant:         j.Spec.Tenant,
 		Priority:       j.Spec.Priority,
 		Topo:           j.Topo,
 		Chain:          j.Spec.Chain,

@@ -41,7 +41,14 @@ type JobSpec struct {
 	Iterations int
 	// Priority orders the queue: higher-priority jobs are scheduled first
 	// (FCFS among equals). The default 0 reproduces plain FCFS.
-	Priority    int
+	Priority int
+	// Tenant names the submitting principal for multi-tenant fair-share
+	// scheduling. The empty string is the default tenant, so single-tenant
+	// deployments never see the field. Tenancy shapes *ordering* (which
+	// tenant's job starts or resizes next under a fair-share arbiter), never
+	// admission to the journal: the field rides inside the spec through the
+	// WAL so recovery replays shares deterministically.
+	Tenant      string
 	InitialTopo grid.Topology
 	// Chain is the job's legal configuration ladder in ascending processor
 	// count (the paper's Table 2 row for this problem size).
@@ -181,7 +188,17 @@ func (c *Core) SetPolicy(p Policy) { c.Policy = p }
 // SetArbiter installs a cluster-wide resize arbiter. A nil arbiter restores
 // the default: the single-job PolicyArbiter over c.Policy, which reproduces
 // the published Contact behavior bit-identically.
-func (c *Core) SetArbiter(a Arbiter) { c.arb = a }
+//
+// If the arbiter also implements StartPicker, the queue's per-tenant index
+// is enabled (and backfilled from any already-queued jobs) so TrySchedule
+// can offer the picker every tenant's queue head. Install the arbiter
+// before replaying a journal so recovered runs take the identical path.
+func (c *Core) SetArbiter(a Arbiter) {
+	c.arb = a
+	if _, ok := a.(StartPicker); ok {
+		c.queue.enableTenantIndex()
+	}
+}
 
 // Arbiter returns the installed cluster-wide arbiter (nil when the default
 // single-job policy path is active).
@@ -252,18 +269,27 @@ func (c *Core) Submit(spec JobSpec, now float64) (*Job, []*Job, error) {
 }
 
 // TrySchedule starts queued jobs under FCFS order, optionally backfilling
-// later jobs that fit when the head does not. It returns the started jobs.
+// later jobs that fit when the head does not. When the installed arbiter is
+// a StartPicker, start order among *tenants* is delegated to it instead:
+// the picker chooses among the per-tenant queue heads, while order within a
+// tenant stays FCFS. With a single tenant the picker sees exactly the
+// global head, so the path degenerates to the published FCFS loop. It
+// returns the started jobs.
 func (c *Core) TrySchedule(now float64) []*Job {
 	var started []*Job
-	for {
-		head := c.queue.head()
-		if head == nil || head.Spec.InitialTopo.Count() > c.pool.Free() {
-			break
+	if sp, ok := c.arb.(StartPicker); ok {
+		started = c.startPicked(sp, now)
+	} else {
+		for {
+			head := c.queue.head()
+			if head == nil || head.Spec.InitialTopo.Count() > c.pool.Free() {
+				break
+			}
+			if !c.start(head, now) {
+				break
+			}
+			started = append(started, head)
 		}
-		if !c.start(head, now) {
-			break
-		}
-		started = append(started, head)
 	}
 	if c.Backfill {
 		for {
@@ -276,6 +302,44 @@ func (c *Core) TrySchedule(now float64) []*Job {
 			}
 			started = append(started, j)
 		}
+	}
+	return started
+}
+
+// startPicked runs the StartPicker scheduling loop: each round offers the
+// arbiter every tenant's queue head (ascending tenant order) and starts the
+// job it picks, until the picker declines or the pick no longer fits. The
+// rejected-pick break mirrors the FCFS loop's head check: a picker that
+// chooses a job the idle pool cannot hold stalls the round rather than
+// silently falling through to another tenant, preserving within-round
+// determinism. Backfill, when enabled, still runs afterwards.
+func (c *Core) startPicked(sp StartPicker, now float64) []*Job {
+	var started []*Job
+	var heads []*Job
+	for {
+		heads = c.queue.tenantHeads(heads[:0])
+		if len(heads) == 0 {
+			break
+		}
+		snap := StartSnapshot{
+			Now:     now,
+			Total:   c.Total,
+			Idle:    c.pool.Free(),
+			Heads:   make([]QueuedView, len(heads)),
+			Cluster: c,
+		}
+		for i, j := range heads {
+			snap.Heads[i] = queuedView(j, now)
+		}
+		i := sp.PickStart(snap)
+		if i < 0 || i >= len(heads) {
+			break
+		}
+		j := heads[i]
+		if j.Spec.InitialTopo.Count() > c.pool.Free() || !c.start(j, now) {
+			break
+		}
+		started = append(started, j)
 	}
 	return started
 }
@@ -317,14 +381,20 @@ func (c *Core) queuedWindow(now float64) []QueuedView {
 	}
 	out := make([]QueuedView, 0, QueuedNeedsWindow)
 	c.queue.window(QueuedNeedsWindow, func(j *Job) {
-		out = append(out, QueuedView{
-			ID:       j.ID,
-			Priority: j.Spec.Priority,
-			Need:     j.Spec.InitialTopo.Count(),
-			Wait:     now - j.SubmitTime,
-		})
+		out = append(out, queuedView(j, now))
 	})
 	return out
+}
+
+// queuedView projects one waiting job into the arbiter's read-only view.
+func queuedView(j *Job, now float64) QueuedView {
+	return QueuedView{
+		ID:       j.ID,
+		Tenant:   j.Spec.Tenant,
+		Priority: j.Spec.Priority,
+		Need:     j.Spec.InitialTopo.Count(),
+		Wait:     now - j.SubmitTime,
+	}
 }
 
 // EachRunning implements ClusterView: it yields every running job in

@@ -22,6 +22,14 @@ type jobQueue struct {
 	needs []int            // sorted distinct keys of need (may include empty buckets)
 	size  int              // live queued jobs
 	takes int              // takes since the last bucket sweep
+
+	// The tenant index mirrors the need index per Spec.Tenant so a
+	// fair-share StartPicker can see every tenant's queue head without
+	// scanning. It costs one extra heap push per submit, so it is off until
+	// enableTenantIndex — single-tenant FCFS/benefit runs pay nothing.
+	byTenant  map[string]*jobHeap // tenant -> queued jobs for that tenant
+	tenants   []string            // sorted distinct keys of byTenant (may include empty buckets)
+	tenantIdx bool
 }
 
 // jobLess is the queue's total order: higher priority first, then earlier
@@ -50,7 +58,74 @@ func (q *jobQueue) push(j *Job) {
 		q.needs[i] = n
 	}
 	b.push(j)
+	if q.tenantIdx {
+		q.tenantPush(j)
+	}
 	q.size++
+}
+
+// enableTenantIndex turns the per-tenant index on, backfilling it from any
+// jobs already queued (recovery installs the arbiter on a core that may
+// have restored a populated queue from a snapshot). Idempotent. Heap pop
+// order under the total jobLess order is insertion-order independent, so
+// walking the order heap's backing array keeps the index deterministic.
+func (q *jobQueue) enableTenantIndex() {
+	if q.tenantIdx {
+		return
+	}
+	q.tenantIdx = true
+	for _, j := range q.order.h {
+		if j.State == Queued {
+			q.tenantPush(j)
+		}
+	}
+}
+
+// tenantPush enqueues a job into its tenant bucket, creating the bucket
+// (and its sorted key) on first use.
+func (q *jobQueue) tenantPush(j *Job) {
+	t := j.Spec.Tenant
+	b, ok := q.byTenant[t]
+	if !ok {
+		if q.byTenant == nil {
+			q.byTenant = make(map[string]*jobHeap)
+		}
+		b = &jobHeap{}
+		q.byTenant[t] = b
+		i := sort.SearchStrings(q.tenants, t)
+		q.tenants = append(q.tenants, "")
+		copy(q.tenants[i+1:], q.tenants[i:])
+		q.tenants[i] = t
+	}
+	b.push(j)
+}
+
+// tenantHeads appends each tenant's queue head to dst in ascending tenant
+// order. Buckets found empty are pruned on the way, exactly like bestFit's
+// need buckets.
+func (q *jobQueue) tenantHeads(dst []*Job) []*Job {
+	var dead []string
+	for _, t := range q.tenants {
+		top := q.byTenant[t].peekLive()
+		if top == nil {
+			dead = append(dead, t)
+			continue
+		}
+		dst = append(dst, top)
+	}
+	for _, t := range dead {
+		q.removeTenant(t)
+	}
+	return dst
+}
+
+// removeTenant drops one tenant bucket from both tenant-index structures.
+func (q *jobQueue) removeTenant(t string) {
+	delete(q.byTenant, t)
+	i := sort.SearchStrings(q.tenants, t)
+	if i < len(q.tenants) && q.tenants[i] == t {
+		q.tenants = append(q.tenants[:i], q.tenants[i+1:]...)
+	}
 }
 
 // len returns the number of live queued jobs.
@@ -72,7 +147,8 @@ func (q *jobQueue) take(j *Job) {
 	}
 }
 
-// sweep drops every need bucket with no live job left.
+// sweep drops every need bucket (and, when the tenant index is enabled,
+// every tenant bucket) with no live job left.
 func (q *jobQueue) sweep() {
 	q.takes = 0
 	live := q.needs[:0]
@@ -87,6 +163,21 @@ func (q *jobQueue) sweep() {
 		q.needs[i] = 0
 	}
 	q.needs = live
+	if !q.tenantIdx {
+		return
+	}
+	liveT := q.tenants[:0]
+	for _, t := range q.tenants {
+		if q.byTenant[t].peekLive() == nil {
+			delete(q.byTenant, t)
+		} else {
+			liveT = append(liveT, t)
+		}
+	}
+	for i := len(liveT); i < len(q.tenants); i++ {
+		q.tenants[i] = ""
+	}
+	q.tenants = liveT
 }
 
 // removeNeed drops one bucket from both indexes.

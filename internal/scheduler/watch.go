@@ -2,6 +2,7 @@ package scheduler
 
 import (
 	"context"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -17,6 +18,7 @@ type JobInfo struct {
 	ID       int
 	Name     string
 	App      string
+	Tenant   string
 	State    string
 	Priority int
 	Topo     grid.Topology
@@ -27,13 +29,25 @@ type JobInfo struct {
 }
 
 // ClusterStatus is the scheduler snapshot returned by Status: pool
-// occupancy, queue pressure and every job in submission order.
+// occupancy, queue pressure, every job in submission order, and the
+// per-tenant usage rollup (ascending tenant name).
 type ClusterStatus struct {
 	Total    int
 	Free     int
 	Busy     int
 	QueueLen int
 	Jobs     []JobInfo
+	Tenants  []TenantUsage
+}
+
+// TenantUsage aggregates one tenant's live footprint: running and queued
+// job counts plus the processors currently allocated to it. Done jobs do
+// not appear; a tenant with no live jobs has no row.
+type TenantUsage struct {
+	Tenant  string
+	Running int
+	Queued  int
+	Procs   int
 }
 
 // JobEvent is one job-state transition streamed to watchers: the alloc
@@ -119,17 +133,37 @@ func (s *Server) Status(ctx context.Context) (ClusterStatus, error) {
 		Busy:     s.core.Busy(),
 		QueueLen: s.core.QueueLen(),
 	}
+	// usage indexes st.Tenants by tenant name; rows are created in job-id
+	// order and sorted by name afterwards, so the rollup never ranges a map.
+	usage := make(map[string]int)
 	for _, j := range s.core.Jobs() {
 		procs := 0
 		if j.State == Running {
 			procs = j.Topo.Count()
 		}
 		st.Jobs = append(st.Jobs, JobInfo{
-			ID: j.ID, Name: j.Spec.Name, App: j.Spec.App, State: j.State.String(),
-			Priority: j.Spec.Priority, Topo: j.Topo, Procs: procs,
-			Submit: j.SubmitTime, Start: j.StartTime, End: j.EndTime,
+			ID: j.ID, Name: j.Spec.Name, App: j.Spec.App, Tenant: j.Spec.Tenant,
+			State: j.State.String(), Priority: j.Spec.Priority, Topo: j.Topo,
+			Procs: procs, Submit: j.SubmitTime, Start: j.StartTime, End: j.EndTime,
 		})
+		if j.State == Done {
+			continue
+		}
+		idx, ok := usage[j.Spec.Tenant]
+		if !ok {
+			idx = len(st.Tenants)
+			usage[j.Spec.Tenant] = idx
+			st.Tenants = append(st.Tenants, TenantUsage{Tenant: j.Spec.Tenant})
+		}
+		u := &st.Tenants[idx]
+		if j.State == Running {
+			u.Running++
+			u.Procs += j.Topo.Count()
+		} else {
+			u.Queued++
+		}
 	}
+	sort.Slice(st.Tenants, func(i, k int) bool { return st.Tenants[i].Tenant < st.Tenants[k].Tenant })
 	return st, nil
 }
 
@@ -173,6 +207,15 @@ func (s *Server) Watch(ctx context.Context, jobID int) (*Subscription, error) {
 		close(ch)
 	}()
 	return sub, nil
+}
+
+// Subscribers reports the number of live watch subscriptions — broker
+// observability for operators and for tests that must know a fleet of
+// watchers has finished registering before publishing events.
+func (s *Server) Subscribers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.subs)
 }
 
 // publishLocked fans newly recorded core events out to subscribers. It

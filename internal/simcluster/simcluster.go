@@ -60,6 +60,7 @@ type IterRecord struct {
 type JobResult struct {
 	Name        string
 	App         string
+	Tenant      string // submitting principal ("" = default tenant)
 	InitialProc int
 	Submit      float64
 	Start       float64
@@ -132,6 +133,64 @@ func (r *Result) QueueWaitPercentile(q float64) float64 {
 	}
 	if rank > len(waits) {
 		rank = len(waits)
+	}
+	return waits[rank-1]
+}
+
+// Tenants lists the distinct tenants appearing in the result, sorted by
+// name, so callers can iterate per-tenant metrics deterministically.
+func (r *Result) Tenants() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, j := range r.Jobs {
+		if !seen[j.Tenant] {
+			seen[j.Tenant] = true
+			out = append(out, j.Tenant)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// tenantWaits collects the queue waits of one tenant's jobs, sorted
+// ascending.
+func (r *Result) tenantWaits(tenant string) []float64 {
+	var waits []float64
+	for _, j := range r.Jobs {
+		if j.Tenant == tenant {
+			waits = append(waits, j.QueueWait())
+		}
+	}
+	sort.Float64s(waits)
+	return waits
+}
+
+// TenantMeanQueueWait averages start-minus-submit over one tenant's jobs
+// (0 if the tenant submitted none) — the fairness experiments' per-victim
+// view of MeanQueueWait.
+func (r *Result) TenantMeanQueueWait(tenant string) float64 {
+	waits := r.tenantWaits(tenant)
+	if len(waits) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, w := range waits {
+		s += w
+	}
+	return s / float64(len(waits))
+}
+
+// TenantQueueWaitP99 is the nearest-rank 99th-percentile queue wait of one
+// tenant's jobs (0 if the tenant submitted none) — the noisy-neighbor
+// gate's victim metric.
+func (r *Result) TenantQueueWaitP99(tenant string) float64 {
+	waits := r.tenantWaits(tenant)
+	if len(waits) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(0.99 * float64(len(waits))))
+	if rank < 1 {
+		rank = 1
 	}
 	return waits[rank-1]
 }
@@ -325,6 +384,7 @@ func (s *Sim) handleArrival(e scheduler.Event) error {
 		result: &JobResult{
 			Name:        in.Spec.Name,
 			App:         in.Spec.App,
+			Tenant:      in.Spec.Tenant,
 			InitialProc: in.Spec.InitialTopo.Count(),
 			Submit:      e.Time,
 		},

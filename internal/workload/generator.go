@@ -2,7 +2,9 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"sort"
 
 	"repro/internal/grid"
 	"repro/internal/perfmodel"
@@ -23,6 +25,66 @@ type GenConfig struct {
 	// arbitration ties. The default (0 or 1) leaves every job at priority
 	// 0, preserving the plain-FCFS mixes byte for byte.
 	PriorityLevels int
+	// Tenants switches the generator into multi-tenant mode: each entry
+	// produces an independent substream of jobs tagged with the tenant's
+	// name, drawn from a per-tenant sub-seed of Seed, and the substreams
+	// are merged by arrival time (ties keep Tenants order). When empty,
+	// generation follows the original single-tenant path byte for byte,
+	// and Jobs/MeanInterarrival apply; when set, each TenantSpec carries
+	// its own counts and Jobs/MeanInterarrival become per-tenant defaults.
+	Tenants []TenantSpec
+}
+
+// Pattern selects a tenant's arrival process.
+type Pattern int
+
+const (
+	// Steady is the original Poisson process: exponential interarrival
+	// gaps with the tenant's mean.
+	Steady Pattern = iota
+	// Bursty emits jobs in tight clumps: Burst near-simultaneous arrivals
+	// (intra-burst gaps compressed by BurstFactor), then one long gap
+	// carrying the whole burst's worth of mean spacing, so the long-run
+	// rate matches Steady at the same mean. This is the noisy-neighbor
+	// shape: a tenant that is quiet, then demands the cluster all at once.
+	Bursty
+	// Diurnal modulates the Poisson rate sinusoidally over Period seconds:
+	// gaps stretch by (1 + Amplitude·sin) evaluated at the current virtual
+	// time, giving the day/night load swing of interactive tenants.
+	Diurnal
+)
+
+// String names the pattern.
+func (p Pattern) String() string {
+	switch p {
+	case Steady:
+		return "steady"
+	case Bursty:
+		return "bursty"
+	case Diurnal:
+		return "diurnal"
+	default:
+		return "unknown"
+	}
+}
+
+// TenantSpec describes one tenant's substream in a multi-tenant mix.
+type TenantSpec struct {
+	Name string
+	// Jobs is this tenant's job count (falls back to GenConfig.Jobs).
+	Jobs int
+	// MeanInterarrival is this tenant's mean spacing in seconds (falls
+	// back to GenConfig.MeanInterarrival).
+	MeanInterarrival float64
+	Pattern          Pattern
+	// Burst is the arrivals per clump under Bursty (default 5);
+	// BurstFactor divides the intra-burst gaps (default 10).
+	Burst       int
+	BurstFactor float64
+	// Period is the Diurnal cycle length in seconds (default 86400);
+	// Amplitude in [0, 1) scales the swing (default 0.8).
+	Period    float64
+	Amplitude float64
 }
 
 // luSizePool are the Table 2 problem sizes the generator draws from.
@@ -32,14 +94,17 @@ var luSizePool = []int{8000, 12000, 14000, 16000, 20000, 21000, 24000}
 // with exponential interarrival times, for stress-testing the scheduler at
 // job counts beyond the published workloads.
 func Generate(cfg GenConfig) ([]simcluster.JobInput, error) {
-	if cfg.Jobs <= 0 {
-		return nil, fmt.Errorf("workload: Generate needs at least 1 job")
-	}
 	if cfg.MaxProcs <= 0 {
 		cfg.MaxProcs = ClusterProcs
 	}
 	if cfg.Iterations <= 0 {
 		cfg.Iterations = Iterations
+	}
+	if len(cfg.Tenants) > 0 {
+		return generateTenants(cfg)
+	}
+	if cfg.Jobs <= 0 {
+		return nil, fmt.Errorf("workload: Generate needs at least 1 job")
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	arrival := 0.0
@@ -48,37 +113,9 @@ func Generate(cfg GenConfig) ([]simcluster.JobInput, error) {
 		if i > 0 {
 			arrival += rng.ExpFloat64() * cfg.MeanInterarrival
 		}
-		var in simcluster.JobInput
-		switch rng.Intn(5) {
-		case 0, 1: // LU and MM dominate large clusters
-			n := luSizePool[rng.Intn(len(luSizePool))]
-			app := "lu"
-			if rng.Intn(2) == 1 {
-				app = "mm"
-			}
-			start, ok := grid.SmallestConfig(n, 2, cfg.MaxProcs)
-			if !ok {
-				return nil, fmt.Errorf("workload: no starting config for n=%d", n)
-			}
-			in = simcluster.JobInput{
-				Spec: scheduler.JobSpec{
-					Name: fmt.Sprintf("%s-%d", app, i), App: app, ProblemSize: n,
-					Iterations:  cfg.Iterations,
-					InitialTopo: start,
-					Chain:       grid.GrowthChain(start, n, cfg.MaxProcs),
-				},
-				Model: perfmodel.AppModel{App: app, N: n},
-			}
-		case 2:
-			in = jacobiInput(fmt.Sprintf("jacobi-%d", i), cfg)
-		case 3:
-			in = fftInput(fmt.Sprintf("fft-%d", i), cfg)
-		default:
-			work := 10 + rng.Float64()*100
-			in = job1D(fmt.Sprintf("mw-%d", i), "mw", 20000,
-				evens(2, min(22, cfg.MaxProcs)), 0,
-				perfmodel.AppModel{App: "mw", MWWorkSeconds: work})
-			in.Spec.Iterations = cfg.Iterations
+		in, err := drawJob(rng, i, "", cfg)
+		if err != nil {
+			return nil, err
 		}
 		if cfg.PriorityLevels > 1 {
 			in.Spec.Priority = rng.Intn(cfg.PriorityLevels)
@@ -87,6 +124,128 @@ func Generate(cfg GenConfig) ([]simcluster.JobInput, error) {
 		jobs = append(jobs, in)
 	}
 	return jobs, nil
+}
+
+// drawJob rolls one job body from the paper's application mix. The draw
+// sequence (one Intn(5), then the chosen case's own draws, then the
+// optional priority roll in the caller) is shared by the single- and
+// multi-tenant paths, so pre-existing single-tenant seeds replay byte for
+// byte.
+func drawJob(rng *rand.Rand, i int, prefix string, cfg GenConfig) (simcluster.JobInput, error) {
+	switch rng.Intn(5) {
+	case 0, 1: // LU and MM dominate large clusters
+		n := luSizePool[rng.Intn(len(luSizePool))]
+		app := "lu"
+		if rng.Intn(2) == 1 {
+			app = "mm"
+		}
+		start, ok := grid.SmallestConfig(n, 2, cfg.MaxProcs)
+		if !ok {
+			return simcluster.JobInput{}, fmt.Errorf("workload: no starting config for n=%d", n)
+		}
+		return simcluster.JobInput{
+			Spec: scheduler.JobSpec{
+				Name: fmt.Sprintf("%s%s-%d", prefix, app, i), App: app, ProblemSize: n,
+				Iterations:  cfg.Iterations,
+				InitialTopo: start,
+				Chain:       grid.GrowthChain(start, n, cfg.MaxProcs),
+			},
+			Model: perfmodel.AppModel{App: app, N: n},
+		}, nil
+	case 2:
+		return jacobiInput(fmt.Sprintf("%sjacobi-%d", prefix, i), cfg), nil
+	case 3:
+		return fftInput(fmt.Sprintf("%sfft-%d", prefix, i), cfg), nil
+	default:
+		work := 10 + rng.Float64()*100
+		in := job1D(fmt.Sprintf("%smw-%d", prefix, i), "mw", 20000,
+			evens(2, min(22, cfg.MaxProcs)), 0,
+			perfmodel.AppModel{App: "mw", MWWorkSeconds: work})
+		in.Spec.Iterations = cfg.Iterations
+		return in, nil
+	}
+}
+
+// generateTenants draws one substream per tenant from a per-tenant
+// sub-seed and merges them by arrival time. Stable sort keeps ties in
+// Tenants order, so the merged mix is a pure function of (Seed, Tenants).
+func generateTenants(cfg GenConfig) ([]simcluster.JobInput, error) {
+	var jobs []simcluster.JobInput
+	for ti, ts := range cfg.Tenants {
+		if ts.Name == "" {
+			return nil, fmt.Errorf("workload: tenant %d has no name", ti)
+		}
+		n := ts.Jobs
+		if n <= 0 {
+			n = cfg.Jobs
+		}
+		if n <= 0 {
+			return nil, fmt.Errorf("workload: tenant %q needs at least 1 job", ts.Name)
+		}
+		mean := ts.MeanInterarrival
+		if mean <= 0 {
+			mean = cfg.MeanInterarrival
+		}
+		if mean <= 0 {
+			return nil, fmt.Errorf("workload: tenant %q needs a mean interarrival", ts.Name)
+		}
+		// Golden-ratio mixing keeps nearby seeds' substreams uncorrelated.
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(ti+1)*0x9E3779B9))
+		arrival := 0.0
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				arrival += ts.gap(rng, i, mean, arrival)
+			}
+			in, err := drawJob(rng, i, ts.Name+"-", cfg)
+			if err != nil {
+				return nil, err
+			}
+			if cfg.PriorityLevels > 1 {
+				in.Spec.Priority = rng.Intn(cfg.PriorityLevels)
+			}
+			in.Spec.Tenant = ts.Name
+			in.Arrival = arrival
+			jobs = append(jobs, in)
+		}
+	}
+	sort.SliceStable(jobs, func(i, j int) bool { return jobs[i].Arrival < jobs[j].Arrival })
+	return jobs, nil
+}
+
+// gap draws the interarrival gap preceding this tenant's i-th job
+// (i >= 1), shaped by the tenant's arrival pattern. now is the previous
+// job's arrival, which the diurnal modulation samples.
+func (ts TenantSpec) gap(rng *rand.Rand, i int, mean, now float64) float64 {
+	switch ts.Pattern {
+	case Bursty:
+		burst := ts.Burst
+		if burst <= 0 {
+			burst = 5
+		}
+		factor := ts.BurstFactor
+		if factor <= 0 {
+			factor = 10
+		}
+		if i%burst == 0 {
+			// First job of a new clump: one long gap carries the whole
+			// clump's worth of mean spacing, keeping the long-run rate at
+			// 1/mean.
+			return rng.ExpFloat64() * mean * float64(burst)
+		}
+		return rng.ExpFloat64() * mean / factor
+	case Diurnal:
+		period := ts.Period
+		if period <= 0 {
+			period = 86400
+		}
+		amp := ts.Amplitude
+		if amp <= 0 || amp >= 1 {
+			amp = 0.8
+		}
+		return rng.ExpFloat64() * mean * (1 + amp*math.Sin(2*math.Pi*now/period))
+	default:
+		return rng.ExpFloat64() * mean
+	}
 }
 
 func jacobiInput(name string, cfg GenConfig) simcluster.JobInput {

@@ -51,6 +51,111 @@ func TestGenerateValidation(t *testing.T) {
 	if _, err := Generate(GenConfig{Jobs: 0}); err == nil {
 		t.Fatal("zero jobs accepted")
 	}
+	if _, err := Generate(GenConfig{Tenants: []TenantSpec{{Jobs: 3, MeanInterarrival: 10}}}); err == nil {
+		t.Fatal("unnamed tenant accepted")
+	}
+	if _, err := Generate(GenConfig{Tenants: []TenantSpec{{Name: "a"}}}); err == nil {
+		t.Fatal("tenant with no job count or interarrival accepted")
+	}
+}
+
+// TestGenerateMultiTenantDeterministic: the same seed must reproduce the
+// merged multi-tenant mix byte for byte across every arrival pattern —
+// names, tenants, priorities and arrival instants.
+func TestGenerateMultiTenantDeterministic(t *testing.T) {
+	cfg := GenConfig{
+		Seed: 42, MaxProcs: 36, PriorityLevels: 3,
+		Tenants: []TenantSpec{
+			{Name: "steady", Jobs: 30, MeanInterarrival: 100},
+			{Name: "bursty", Jobs: 30, MeanInterarrival: 100, Pattern: Bursty, Burst: 6, BurstFactor: 20},
+			{Name: "diurnal", Jobs: 30, MeanInterarrival: 100, Pattern: Diurnal, Period: 3600, Amplitude: 0.9},
+		},
+	}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 90 || len(b) != 90 {
+		t.Fatalf("lengths %d/%d, want 90", len(a), len(b))
+	}
+	counts := map[string]int{}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.Spec.Name != y.Spec.Name || x.Spec.Tenant != y.Spec.Tenant ||
+			x.Spec.Priority != y.Spec.Priority || x.Arrival != y.Arrival {
+			t.Fatalf("job %d differs between identical runs: %+v vs %+v", i, x.Spec, y.Spec)
+		}
+		if i > 0 && a[i].Arrival < a[i-1].Arrival {
+			t.Fatalf("merged arrivals not monotone at %d", i)
+		}
+		counts[x.Spec.Tenant]++
+	}
+	for _, tenant := range []string{"steady", "bursty", "diurnal"} {
+		if counts[tenant] != 30 {
+			t.Fatalf("tenant %q has %d jobs, want 30", tenant, counts[tenant])
+		}
+	}
+}
+
+// TestGenerateBurstyClumps: the bursty pattern must actually clump — the
+// median intra-burst gap sits well below the long inter-burst gaps.
+func TestGenerateBurstyClumps(t *testing.T) {
+	jobs, err := Generate(GenConfig{Seed: 7, MaxProcs: 36, Tenants: []TenantSpec{
+		{Name: "n", Jobs: 60, MeanInterarrival: 100, Pattern: Bursty, Burst: 6, BurstFactor: 20},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var intra, inter []float64
+	for i := 1; i < len(jobs); i++ {
+		gap := jobs[i].Arrival - jobs[i-1].Arrival
+		if i%6 == 0 {
+			inter = append(inter, gap)
+		} else {
+			intra = append(intra, gap)
+		}
+	}
+	mean := func(xs []float64) float64 {
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	if mean(intra)*10 > mean(inter) {
+		t.Fatalf("bursts not clumped: intra mean %.1f vs inter mean %.1f", mean(intra), mean(inter))
+	}
+}
+
+// TestGenerateMultiTenantRunsAndRollsUp: a three-tenant mix drives the
+// simulator end to end and the per-tenant result metrics see every tenant.
+func TestGenerateMultiTenantRunsAndRollsUp(t *testing.T) {
+	jobs, err := Generate(GenConfig{Seed: 3, MaxProcs: 36, Tenants: []TenantSpec{
+		{Name: "a", Jobs: 5, MeanInterarrival: 300},
+		{Name: "b", Jobs: 5, MeanInterarrival: 300, Pattern: Bursty},
+		{Name: "c", Jobs: 5, MeanInterarrival: 300, Pattern: Diurnal},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := simcluster.New(36, simcluster.Dynamic, perfmodel.SystemX(), jobs).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Tenants(); len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("result tenants %v, want [a b c]", got)
+	}
+	for _, tenant := range []string{"a", "b", "c"} {
+		if res.TenantQueueWaitP99(tenant) < res.TenantMeanQueueWait(tenant) &&
+			res.TenantMeanQueueWait(tenant) > 0 {
+			t.Fatalf("tenant %q: p99 %.1f below mean %.1f", tenant,
+				res.TenantQueueWaitP99(tenant), res.TenantMeanQueueWait(tenant))
+		}
+	}
 }
 
 func TestGeneratedMixRunsUnderBothModes(t *testing.T) {

@@ -55,3 +55,36 @@ func TestSubmitWithPriority(t *testing.T) {
 		t.Fatalf("started %v, want priority job %d", started, hiID)
 	}
 }
+
+// TestSubmitWithTenant: the tenant tag applied at submission shows up on
+// the job and in the per-tenant status rollup.
+func TestSubmitWithTenant(t *testing.T) {
+	srv := scheduler.NewServer(8, false, nil)
+	ctx := context.Background()
+	start := grid.Topology{Rows: 2, Cols: 2}
+	spec := scheduler.JobSpec{
+		Name: "sdk", App: "lu", ProblemSize: 8000, Iterations: 5,
+		InitialTopo: start, Chain: []grid.Topology{start},
+	}
+
+	id, err := reshape.Submit(ctx, srv, spec, reshape.WithTenant("acme"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := srv.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, j := range st.Jobs {
+		if j.ID == id && j.Tenant == "acme" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("job %d not reported under tenant acme: %+v", id, st.Jobs)
+	}
+	if len(st.Tenants) != 1 || st.Tenants[0].Tenant != "acme" || st.Tenants[0].Procs != 4 {
+		t.Fatalf("tenant rollup %+v, want acme with 4 procs", st.Tenants)
+	}
+}
