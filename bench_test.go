@@ -11,6 +11,7 @@ import (
 	"math/rand"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/apps"
 	"repro/internal/blacs"
@@ -166,9 +167,11 @@ func BenchmarkWorkloadSimScale(b *testing.B) {
 // 1024-processor cluster, exponential arrivals, and the full resize-policy
 // machinery. The "event" cases run the indexed, sharded core; "linear" runs
 // the pre-refactor linear-scan reference on the same 10k-job mix, showing
-// the speedup from the event-driven refactor. The 100k-job case runs with
-// allocation tracing disabled (utilization stays exact via the busy-time
-// integral).
+// the speedup from the event-driven refactor. The 100k- and 1M-job cases
+// run with allocation tracing and per-iteration result rows disabled
+// (utilization stays exact via the busy-time integral). Allocation stats
+// are reported so CI's -benchmem run lands allocs/op and B/op in
+// BENCH_scheduler.json alongside jobs/s.
 func BenchmarkSchedulerThroughput(b *testing.B) {
 	params := perfmodel.SystemX()
 	const clusterProcs = 1024
@@ -181,12 +184,16 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 		}
 		return in
 	}
-	run := func(b *testing.B, jobs int, mk func() scheduler.Interface) {
+	run := func(b *testing.B, jobs int, lean bool, mk func() scheduler.Interface) {
 		in := mix(b, jobs)
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			res, err := simcluster.New(clusterProcs, simcluster.Dynamic, params, in).
-				WithCore(mk()).Run()
+			sim := simcluster.New(clusterProcs, simcluster.Dynamic, params, in).WithCore(mk())
+			if lean {
+				sim.WithoutIterRecords()
+			}
+			res, err := sim.Run()
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -197,29 +204,30 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 		b.ReportMetric(float64(jobs)*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
 	}
 	b.Run("event-10k", func(b *testing.B) {
-		run(b, 10_000, func() scheduler.Interface {
+		run(b, 10_000, false, func() scheduler.Interface {
 			return scheduler.NewCore(clusterProcs, true)
 		})
 	})
 	b.Run("event-100k", func(b *testing.B) {
-		run(b, 100_000, func() scheduler.Interface {
+		run(b, 100_000, true, func() scheduler.Interface {
 			c := scheduler.NewCoreSharded(clusterProcs, 16, true)
 			c.DisableTrace()
 			return c
 		})
 	})
 	// The 1M-job case extends the scaling curve one more decade: CI tracks
-	// it in BENCH_scheduler.json so super-linear regressions in the queue
-	// or pool indexes show up as a bend between 100k and 1M.
+	// it in BENCH_scheduler.json (and gates jobs/s@1M against jobs/s@10k,
+	// see cmd/benchjson -gate) so super-linear regressions in the queue or
+	// pool indexes show up as a bend between 100k and 1M.
 	b.Run("event-1M", func(b *testing.B) {
-		run(b, 1_000_000, func() scheduler.Interface {
+		run(b, 1_000_000, true, func() scheduler.Interface {
 			c := scheduler.NewCoreSharded(clusterProcs, 16, true)
 			c.DisableTrace()
 			return c
 		})
 	})
 	b.Run("linear-10k", func(b *testing.B) {
-		run(b, 10_000, func() scheduler.Interface {
+		run(b, 10_000, false, func() scheduler.Interface {
 			return scheduler.NewLinearCore(clusterProcs, true)
 		})
 	})
@@ -289,13 +297,33 @@ func BenchmarkArbiter(b *testing.B) {
 	})
 }
 
+// timedPlanner wraps a Planner arbiter and accumulates wall time spent
+// inside Rebalance ticks, so the planning cost can be reported as its own
+// metric instead of silently deflating jobs/s. It deliberately does not
+// forward StartPicker (the wrapped rebalancer isn't one), so SetArbiter
+// sees the same method set as the unwrapped arbiter.
+type timedPlanner struct {
+	scheduler.Arbiter
+	planNS int64
+	ticks  int64
+}
+
+func (t *timedPlanner) Rebalance(snap scheduler.ClusterSnapshot) {
+	start := time.Now()
+	t.Arbiter.(scheduler.Planner).Rebalance(snap)
+	t.planNS += time.Since(start).Nanoseconds()
+	t.ticks++
+}
+
 // BenchmarkRebalance measures the global rebalancer end to end on the same
 // contended mix as BenchmarkArbiter: the reactive benefit-ranked arbiter
 // alone versus the planning layer ticking every
 // experiments.DefaultRebalanceTick seconds. makespan-s exposes the
-// scheduling win the planner buys; jobs/s its throughput cost (curve fits
-// and water-filling on every tick). CI uploads both series in
-// BENCH_scheduler.json.
+// scheduling win the planner buys; jobs/s its total throughput cost. The
+// rebalance case additionally splits the planner-tick cost into plan-ns/op
+// (mean wall time per planning tick) and sched-jobs/s (throughput with
+// planning time subtracted), so the reactive and planned modes compare on
+// the same scheduling work. CI uploads every series in BENCH_scheduler.json.
 func BenchmarkRebalance(b *testing.B) {
 	params := perfmodel.SystemX()
 	jobs, err := experiments.ContendedMix()
@@ -320,12 +348,20 @@ func BenchmarkRebalance(b *testing.B) {
 		})
 	})
 	b.Run("rebalance", func(b *testing.B) {
+		tp := &timedPlanner{}
 		run(b, func(s *simcluster.Sim) *simcluster.Sim {
 			reb := rebalance.New(&arbiter.BenefitRanked{Predict: simcluster.Predictor(params, jobs)})
 			reb.Predict = simcluster.Predictor(params, jobs)
 			reb.RedistCost = simcluster.RedistPredictor(params, jobs)
-			return s.WithArbiter(reb).WithRebalance(experiments.DefaultRebalanceTick)
+			tp.Arbiter = reb
+			return s.WithArbiter(tp).WithRebalance(experiments.DefaultRebalanceTick)
 		})
+		if tp.ticks > 0 {
+			b.ReportMetric(float64(tp.planNS)/float64(tp.ticks), "plan-ns/op")
+		}
+		if sched := b.Elapsed().Seconds() - float64(tp.planNS)/1e9; sched > 0 {
+			b.ReportMetric(float64(len(jobs))*float64(b.N)/sched, "sched-jobs/s")
+		}
 	})
 }
 
@@ -747,20 +783,57 @@ func BenchmarkRealDistCG(b *testing.B) {
 	}
 }
 
+// BenchmarkSchedulerContact isolates the per-contact cost of the resize
+// decision path — the loop every running job drives at every iteration.
+// Tracing is off so the numbers reflect the decision machinery, and
+// allocations are reported: the steady-state contact path (snapshot
+// construction, queued-window views, policy decision) is required to stay
+// at ~0 allocs/op. "steady" is the published single-job path on an idle
+// queue; "steady-arbiter" routes the same contact through the default
+// cluster-wide arbiter so the ClusterSnapshot path is measured;
+// "backlog-arbiter" adds a wait-queue backlog so the queued-window cache
+// and queue-pressure policy branches are on the hot path.
 func BenchmarkSchedulerContact(b *testing.B) {
-	core := scheduler.NewCore(50, true)
-	job, _, err := core.Submit(scheduler.JobSpec{
-		Name: "lu", App: "lu", ProblemSize: 12000, Iterations: 1 << 30,
-		InitialTopo: grid.Topology{Rows: 3, Cols: 4},
-		Chain:       experiments.Chain(12000),
-	}, 0)
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := core.Contact(job.ID, job.Topo, 50.0, 0, float64(i)); err != nil {
+	submit := func(b *testing.B, core *scheduler.Core, need int, at float64) *scheduler.Job {
+		job, _, err := core.Submit(scheduler.JobSpec{
+			Name: "lu", App: "lu", ProblemSize: 12000, Iterations: 1 << 30,
+			InitialTopo: grid.Topology{Rows: 3, Cols: need / 3},
+			Chain:       experiments.Chain(12000),
+		}, at)
+		if err != nil {
 			b.Fatal(err)
 		}
+		return job
 	}
+	contactLoop := func(b *testing.B, core *scheduler.Core, job *scheduler.Job) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Contact(job.ID, job.Topo, 50.0, 0, float64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("steady", func(b *testing.B) {
+		core := scheduler.NewCore(50, true)
+		core.DisableTrace()
+		contactLoop(b, core, submit(b, core, 12, 0))
+	})
+	b.Run("steady-arbiter", func(b *testing.B) {
+		core := scheduler.NewCore(50, true)
+		core.DisableTrace()
+		core.SetArbiter(scheduler.PolicyArbiter{})
+		contactLoop(b, core, submit(b, core, 12, 0))
+	})
+	b.Run("backlog-arbiter", func(b *testing.B) {
+		core := scheduler.NewCore(50, false) // no backfill: the backlog stays queued
+		core.DisableTrace()
+		core.SetArbiter(scheduler.PolicyArbiter{})
+		job := submit(b, core, 12, 0)
+		submit(b, core, 36, 0) // occupies the rest of the pool
+		for i := 0; i < 30; i++ {
+			submit(b, core, 36, 0) // backlog: waits behind the full pool
+		}
+		contactLoop(b, core, job)
+	})
 }

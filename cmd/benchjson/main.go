@@ -7,9 +7,23 @@
 //
 // CI pipes the scheduler benchmarks through it and uploads the result as
 // the BENCH_scheduler.json artifact, so the performance trajectory is
-// tracked across PRs in a machine-readable form. Non-benchmark lines
-// (headers, PASS/ok trailers) pass through to stderr untouched, keeping
-// the human-readable log visible in the CI step output.
+// tracked across PRs in a machine-readable form (run with -benchmem and
+// allocs/op and B/op flow through like any other metric pair).
+// Non-benchmark lines (headers, PASS/ok trailers) pass through to stderr
+// untouched, keeping the human-readable log visible in the CI step output.
+//
+// The -gate flag turns benchjson into a scaling-curve gate on top of the
+// conversion: each occurrence takes "num:den:min" where num and den are
+// "bench/name:metric" references into the parsed results (GOMAXPROCS
+// suffixes like -8 are ignored when matching), and the run fails if
+// metric(num) < min * metric(den). CI uses it to fail when jobs/s at the
+// 1M-job mix sags below a set fraction of jobs/s at 10k — the flattened
+// scaling curve is a gated invariant, not just a tracked number:
+//
+//	... | benchjson -gate 'BenchmarkSchedulerThroughput/event-1M:jobs/s:BenchmarkSchedulerThroughput/event-10k:jobs/s:0.45'
+//
+// A gate referencing a benchmark or metric missing from the input is an
+// error (a silently skipped gate would pass forever).
 package main
 
 import (
@@ -17,6 +31,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -28,7 +43,81 @@ type result struct {
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
+// gate is one parsed -gate spec: fail unless num >= min * den.
+type gate struct {
+	numBench, numMetric string
+	denBench, denMetric string
+	min                 float64
+}
+
+// gateFlags collects repeated -gate occurrences.
+type gateFlags []gate
+
+func (g *gateFlags) String() string { return fmt.Sprintf("%d gates", len(*g)) }
+
+func (g *gateFlags) Set(spec string) error {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 5 {
+		return fmt.Errorf("want num-bench:num-metric:den-bench:den-metric:min, got %q", spec)
+	}
+	min, err := strconv.ParseFloat(parts[4], 64)
+	if err != nil || min <= 0 {
+		return fmt.Errorf("bad gate minimum %q", parts[4])
+	}
+	*g = append(*g, gate{
+		numBench: parts[0], numMetric: parts[1],
+		denBench: parts[2], denMetric: parts[3],
+		min: min,
+	})
+	return nil
+}
+
+// procSuffix strips the -<GOMAXPROCS> suffix go test appends to benchmark
+// names, so gate specs stay machine-independent.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// lookup resolves a bench/metric reference against the parsed results.
+func lookup(results []result, bench, metric string) (float64, error) {
+	for _, r := range results {
+		if procSuffix.ReplaceAllString(r.Name, "") != bench {
+			continue
+		}
+		v, ok := r.Metrics[metric]
+		if !ok {
+			return 0, fmt.Errorf("benchmark %q has no metric %q", bench, metric)
+		}
+		return v, nil
+	}
+	return 0, fmt.Errorf("no benchmark %q in input", bench)
+}
+
 func main() {
+	var gates gateFlags
+	args := os.Args[1:]
+	for len(args) > 0 {
+		switch {
+		case args[0] == "-gate" || args[0] == "--gate":
+			if len(args) < 2 {
+				fmt.Fprintln(os.Stderr, "benchjson: -gate needs an argument")
+				os.Exit(2)
+			}
+			if err := gates.Set(args[1]); err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson: -gate:", err)
+				os.Exit(2)
+			}
+			args = args[2:]
+		case strings.HasPrefix(args[0], "-gate=") || strings.HasPrefix(args[0], "--gate="):
+			if err := gates.Set(args[0][strings.Index(args[0], "=")+1:]); err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson: -gate:", err)
+				os.Exit(2)
+			}
+			args = args[1:]
+		default:
+			fmt.Fprintf(os.Stderr, "benchjson: unknown flag %q\n", args[0])
+			os.Exit(2)
+		}
+	}
+
 	results := []result{} // encode [] (not null) when nothing parses
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -48,6 +137,34 @@ func main() {
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(results); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	failed := false
+	for _, g := range gates {
+		num, err := lookup(results, g.numBench, g.numMetric)
+		if err == nil {
+			var den float64
+			den, err = lookup(results, g.denBench, g.denMetric)
+			if err == nil {
+				ratio := 0.0
+				if den != 0 {
+					ratio = num / den
+				}
+				status := "ok"
+				if num < g.min*den {
+					status = "FAIL"
+					failed = true
+				}
+				fmt.Fprintf(os.Stderr, "benchjson: gate %s: %s:%s / %s:%s = %.3f (min %.3f)\n",
+					status, g.numBench, g.numMetric, g.denBench, g.denMetric, ratio, g.min)
+				continue
+			}
+		}
+		fmt.Fprintln(os.Stderr, "benchjson: gate:", err)
+		failed = true
+	}
+	if failed {
 		os.Exit(1)
 	}
 }

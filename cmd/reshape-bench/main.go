@@ -7,12 +7,22 @@
 //	reshape-bench -exp all
 //	reshape-bench -exp fig3a
 //	reshape-bench -exp table4
+//
+// The -cpuprofile/-memprofile flags wrap the selected experiments in pprof
+// collection; combined with -exp scale -scale-jobs they reproduce the
+// million-job scheduler profiles DESIGN.md's scaling section is based on:
+//
+//	reshape-bench -exp scale -scale-jobs 1000000 -cpuprofile cpu.prof -memprofile mem.prof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
+	"strings"
 
 	"repro/internal/experiments"
 	"repro/internal/perfmodel"
@@ -21,9 +31,42 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: all, table2, fig2a, fig2b, fig3a, fig3b, fig4a, fig4b, table4, fig5a, fig5b, table5, ablation, loadsweep, scale")
+	scaleJobs := flag.String("scale-jobs", "", "comma-separated job counts for -exp scale (default 1000,10000)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the selected experiments to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile taken after the selected experiments to this file")
 	flag.Parse()
 	params := perfmodel.SystemX()
 	w := os.Stdout
+
+	var scaleCounts []int
+	if *scaleJobs != "" {
+		for _, part := range strings.Split(*scaleJobs, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "reshape-bench: bad -scale-jobs entry %q\n", part)
+				os.Exit(2)
+			}
+			scaleCounts = append(scaleCounts, n)
+		}
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		check(err)
+		check(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			check(f.Close())
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			check(err)
+			runtime.GC()
+			check(pprof.WriteHeapProfile(f))
+			check(f.Close())
+		}()
+	}
 
 	var w1, w2 *workload.Comparison
 	needW1 := func() *workload.Comparison {
@@ -67,7 +110,7 @@ func main() {
 			experiments.PrintScheduleAblation(w)
 		},
 		"loadsweep": func() { check(experiments.PrintLoadSweep(w, params)) },
-		"scale":     func() { check(experiments.PrintSchedulerScale(w, params)) },
+		"scale":     func() { check(experiments.PrintSchedulerScale(w, params, scaleCounts...)) },
 	}
 	order := []string{"table2", "fig2a", "fig2b", "fig3a", "fig3b", "fig4a", "fig4b", "table4", "fig5a", "fig5b", "table5", "ablation", "loadsweep", "scale"}
 

@@ -39,8 +39,13 @@ func SchedulerScale(params *perfmodel.Params, jobCounts []int) ([]ScaleRow, erro
 		}
 		core := scheduler.NewCoreSharded(procs, 16, true)
 		core.DisableTrace()
+		// The experiment reports throughput and utilization only, so the
+		// per-iteration result rows are dropped like the allocation trace —
+		// matching the benchmark configuration the committed scaling curve
+		// (BENCH_scheduler.json) is measured under.
 		start := time.Now()
-		res, err := simcluster.New(procs, simcluster.Dynamic, params, mix).WithCore(core).Run()
+		res, err := simcluster.New(procs, simcluster.Dynamic, params, mix).
+			WithCore(core).WithoutIterRecords().Run()
 		if err != nil {
 			return nil, fmt.Errorf("scale %d jobs: %w", jobs, err)
 		}
@@ -57,9 +62,14 @@ func SchedulerScale(params *perfmodel.Params, jobCounts []int) ([]ScaleRow, erro
 	return rows, nil
 }
 
-// PrintSchedulerScale writes the scheduler scale table.
-func PrintSchedulerScale(w io.Writer, params *perfmodel.Params) error {
-	rows, err := SchedulerScale(params, []int{1000, 10000})
+// PrintSchedulerScale writes the scheduler scale table. With no explicit
+// jobCounts it runs the default 1k/10k mixes; reshape-bench's -scale-jobs
+// flag passes larger counts (e.g. the 1M profiling mix) through here.
+func PrintSchedulerScale(w io.Writer, params *perfmodel.Params, jobCounts ...int) error {
+	if len(jobCounts) == 0 {
+		jobCounts = []int{1000, 10000}
+	}
+	rows, err := SchedulerScale(params, jobCounts)
 	if err != nil {
 		return err
 	}

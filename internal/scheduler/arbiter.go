@@ -78,15 +78,32 @@ type ClusterSnapshot struct {
 	// the whole queue — arbiters must therefore react only to the jobs they
 	// can see (the head, in practice) and never assume the window is the
 	// full queue. QueueLen has the full queue length on both cores.
+	//
+	// Queued is scratch owned by the snapshot's producer (Core reuses one
+	// buffer across contacts): arbiters must read it during Decide/Rebalance
+	// and never retain it across calls, the same rule that already covers
+	// the Profile pointers.
 	Queued   []QueuedView
 	QueueLen int
 	// Cluster lazily exposes every running job.
 	Cluster ClusterView
+
+	// queuedNeeds, when non-nil, is the pre-materialized need list matching
+	// Queued. Core fills it from its version-keyed window cache so the
+	// published policy path gets its QueuedNeeds without allocating per
+	// contact; producers that leave it nil (LinearCore, tests building
+	// snapshots by hand) fall back to materializing on demand. Same
+	// ownership rule as Queued: scratch, never retain.
+	queuedNeeds []int
 }
 
 // QueuedNeeds flattens the queued window into the processor-need list the
-// published policy consumes (nil when nothing waits).
+// published policy consumes (nil when nothing waits). The result may be
+// producer-owned scratch: use it during the call, don't keep it.
 func (s *ClusterSnapshot) QueuedNeeds() []int {
+	if s.queuedNeeds != nil {
+		return s.queuedNeeds
+	}
 	if len(s.Queued) == 0 {
 		return nil
 	}

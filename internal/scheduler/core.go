@@ -75,6 +75,9 @@ type Job struct {
 	pendingFree int
 	// resizeFrom remembers the pre-resize configuration for profiling.
 	resizeFrom grid.Topology
+	// qprev/qnext thread the job into its wait-queue priority bucket (see
+	// jobQueue.prioList); both are nil except while State == Queued.
+	qprev, qnext *Job
 }
 
 // GrantShards returns the number of pool shards the job's allocation spans
@@ -143,6 +146,24 @@ type Core struct {
 	busySeconds  float64 // integral of busy processors over virtual time
 	lastBusy     int
 	lastBusyTime float64
+
+	// Materialized queued-window caches. Arbiter snapshots and the default
+	// policy path consult the head window on every contact; rebuilding it
+	// per event dominated the million-job profile. The caches are keyed on
+	// the queue's version counter (and, for the view slice, the snapshot
+	// timestamp, since Wait ages with the clock) so many contacts landing in
+	// the same tick share one O(k) rebuild into reusable scratch. The slices
+	// returned to callers are therefore owned by Core: snapshot consumers
+	// must not retain them across calls (already the arbiter contract).
+	winJobs   []*Job       // scratch: raw window from jobQueue.window
+	winNeeds  []int        // queuedNeeds cache, valid for needsVer
+	winViews  []QueuedView // queuedWindow cache, valid for (viewsVer, viewsNow)
+	headViews []QueuedView // startPicked scratch: per-tenant head views
+	needsVer  uint64
+	needsOK   bool
+	viewsVer  uint64
+	viewsNow  float64
+	viewsOK   bool
 }
 
 // NewCore creates a scheduler for a cluster with total processors, using
@@ -321,15 +342,16 @@ func (c *Core) startPicked(sp StartPicker, now float64) []*Job {
 		if len(heads) == 0 {
 			break
 		}
+		c.headViews = c.headViews[:0]
+		for _, j := range heads {
+			c.headViews = append(c.headViews, queuedView(j, now))
+		}
 		snap := StartSnapshot{
 			Now:     now,
 			Total:   c.Total,
 			Idle:    c.pool.Free(),
-			Heads:   make([]QueuedView, len(heads)),
+			Heads:   c.headViews,
 			Cluster: c,
-		}
-		for i, j := range heads {
-			snap.Heads[i] = queuedView(j, now)
 		}
 		i := sp.PickStart(snap)
 		if i < 0 || i >= len(heads) {
@@ -365,25 +387,43 @@ func (c *Core) start(j *Job, now float64) bool {
 }
 
 // queuedNeeds lists the processor requirements of the first waiting jobs
-// in queue order, capped at QueuedNeedsWindow.
+// in queue order, capped at QueuedNeedsWindow. The returned slice is
+// Core-owned scratch, rebuilt only when the queue has changed since the
+// last call; policies receive it via RemapInput.QueuedNeeds and must not
+// retain it.
 func (c *Core) queuedNeeds() []int {
 	if c.queue.len() == 0 {
 		return nil
 	}
-	return c.queue.needsWindow(nil, QueuedNeedsWindow)
+	if !c.needsOK || c.needsVer != c.queue.version {
+		c.winJobs = c.queue.window(c.winJobs[:0], QueuedNeedsWindow)
+		c.winNeeds = c.winNeeds[:0]
+		for _, j := range c.winJobs {
+			c.winNeeds = append(c.winNeeds, j.Spec.InitialTopo.Count())
+		}
+		c.needsVer, c.needsOK = c.queue.version, true
+	}
+	return c.winNeeds
 }
 
 // queuedWindow lists the first waiting jobs in queue order as arbiter
-// views, capped at QueuedNeedsWindow (nil when nothing waits).
+// views, capped at QueuedNeedsWindow (nil when nothing waits). The slice is
+// Core-owned scratch keyed on (queue version, now) — Wait ages with the
+// clock, so a new timestamp forces a rebuild even when the queue itself is
+// unchanged — and must not be retained by snapshot consumers.
 func (c *Core) queuedWindow(now float64) []QueuedView {
 	if c.queue.len() == 0 {
 		return nil
 	}
-	out := make([]QueuedView, 0, QueuedNeedsWindow)
-	c.queue.window(QueuedNeedsWindow, func(j *Job) {
-		out = append(out, queuedView(j, now))
-	})
-	return out
+	if !c.viewsOK || c.viewsVer != c.queue.version || c.viewsNow != now {
+		c.winJobs = c.queue.window(c.winJobs[:0], QueuedNeedsWindow)
+		c.winViews = c.winViews[:0]
+		for _, j := range c.winJobs {
+			c.winViews = append(c.winViews, queuedView(j, now))
+		}
+		c.viewsVer, c.viewsNow, c.viewsOK = c.queue.version, now, true
+	}
+	return c.winViews
 }
 
 // queuedView projects one waiting job into the arbiter's read-only view.
@@ -405,15 +445,19 @@ func (c *Core) EachRunning(yield func(ContactView) bool) {
 }
 
 // snapshot assembles the arbiter's view of the cluster at a resize point.
+// Queued and queuedNeeds come from the version-keyed window caches, so
+// building a snapshot in a tick where the queue hasn't changed costs O(1)
+// and zero allocations.
 func (c *Core) snapshot(j *Job, now float64) ClusterSnapshot {
 	return ClusterSnapshot{
-		Now:      now,
-		Total:    c.Total,
-		Idle:     c.pool.Free(),
-		Caller:   contactView(j),
-		Queued:   c.queuedWindow(now),
-		QueueLen: c.queue.len(),
-		Cluster:  c,
+		Now:         now,
+		Total:       c.Total,
+		Idle:        c.pool.Free(),
+		Caller:      contactView(j),
+		Queued:      c.queuedWindow(now),
+		QueueLen:    c.queue.len(),
+		Cluster:     c,
+		queuedNeeds: c.queuedNeeds(),
 	}
 }
 
@@ -422,13 +466,14 @@ func (c *Core) snapshot(j *Job, now float64) ClusterSnapshot {
 // that no job is at a resize point, marked by a zero Caller with ID -1.
 func (c *Core) globalSnapshot(now float64) ClusterSnapshot {
 	return ClusterSnapshot{
-		Now:      now,
-		Total:    c.Total,
-		Idle:     c.pool.Free(),
-		Caller:   ContactView{ID: -1},
-		Queued:   c.queuedWindow(now),
-		QueueLen: c.queue.len(),
-		Cluster:  c,
+		Now:         now,
+		Total:       c.Total,
+		Idle:        c.pool.Free(),
+		Caller:      ContactView{ID: -1},
+		Queued:      c.queuedWindow(now),
+		QueueLen:    c.queue.len(),
+		Cluster:     c,
+		queuedNeeds: c.queuedNeeds(),
 	}
 }
 

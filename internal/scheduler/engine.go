@@ -14,6 +14,9 @@ type Engine struct {
 	q        EventQueue
 	now      float64
 	handlers [numEventKinds]Handler
+	// batch is StepTick's reusable dispatch buffer, so draining millions of
+	// events costs no per-tick allocation.
+	batch []Event
 }
 
 // NewEngine returns an empty engine at virtual time zero.
@@ -72,11 +75,37 @@ func (e *Engine) Step() (bool, error) {
 	return true, nil
 }
 
+// StepTick dispatches every pending event sharing the earliest timestamp —
+// one virtual-time tick — in insertion order, exactly as the equivalent
+// sequence of Step calls would, but popping the whole coalesced batch from
+// the heap at once. Events a handler schedules at the current timestamp are
+// dispatched by a later StepTick of the same tick (time does not advance),
+// preserving the (time, insertion-seq) order byte for byte. It returns
+// false when the queue was empty.
+func (e *Engine) StepTick() (bool, error) {
+	e.batch = e.q.PopTick(e.batch[:0])
+	if len(e.batch) == 0 {
+		return false, nil
+	}
+	e.now = e.batch[0].Time
+	for _, ev := range e.batch {
+		h := e.handlers[ev.Kind]
+		if h == nil {
+			return false, fmt.Errorf("scheduler: no handler for %v event", ev.Kind)
+		}
+		if err := h(ev); err != nil {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
 // Run drains the event queue, dispatching events in (time, insertion) order
-// until none remain or a handler fails.
+// until none remain or a handler fails. Dispatch is tick-batched via
+// StepTick; the order is identical to a Step-per-event loop.
 func (e *Engine) Run() error {
 	for {
-		ok, err := e.Step()
+		ok, err := e.StepTick()
 		if err != nil {
 			return err
 		}

@@ -97,6 +97,25 @@ func (q *EventQueue) Pop() (Event, bool) {
 	return top, true
 }
 
+// PopTick removes and appends to dst every pending event sharing the
+// earliest timestamp — one virtual-time tick — in insertion order (the heap
+// already breaks timestamp ties by insertion sequence). Events pushed while
+// the batch is being processed are not included, even at the same
+// timestamp: they form a later batch of the same tick, which is exactly the
+// order a Pop-per-event loop would dispatch them in.
+func (q *EventQueue) PopTick(dst []Event) []Event {
+	first, ok := q.Pop()
+	if !ok {
+		return dst
+	}
+	dst = append(dst, first)
+	for len(q.h) > 0 && q.h[0].Time == first.Time {
+		ev, _ := q.Pop()
+		dst = append(dst, ev)
+	}
+	return dst
+}
+
 // before reports whether event i sorts ahead of event j.
 func (q *EventQueue) before(i, j int) bool {
 	if q.h[i].Time != q.h[j].Time {

@@ -147,9 +147,17 @@ func (p *Pool) AllocInto(g *Grant, n int) bool {
 	}
 	// Rank shards by free capacity (descending, index ascending on ties).
 	// The snapshot is racy under concurrency — it only orders the attempt;
-	// each take re-checks under the shard lock.
-	order := p.rankShards()
-	taken := make([]int, len(p.shards))
+	// each take re-checks under the shard lock. The working vectors live in
+	// stack arrays for the common shard counts (DefaultShards caps at 16),
+	// so steady-state start/expand paths allocate nothing.
+	var orderBuf, freeBuf, takenBuf [maxStackShards]int
+	var order, frees, taken []int
+	if ns := len(p.shards); ns <= maxStackShards {
+		order, frees, taken = orderBuf[:ns], freeBuf[:ns], takenBuf[:ns]
+	} else {
+		order, frees, taken = make([]int, ns), make([]int, ns), make([]int, ns)
+	}
+	p.rankShardsInto(order, frees)
 	remaining := n
 	for _, si := range order {
 		if remaining == 0 {
@@ -198,11 +206,15 @@ func (p *Pool) put(si, k int) {
 	p.free.Add(int64(k))
 }
 
-// rankShards returns shard indices sorted by free capacity descending,
-// index ascending on ties (insertion sort: shard counts are small).
-func (p *Pool) rankShards() []int {
-	order := make([]int, len(p.shards))
-	frees := make([]int, len(p.shards))
+// maxStackShards is the largest shard count AllocInto serves from
+// stack-resident scratch; DefaultShards clamps to it, so heap fallback only
+// triggers for hand-built pools with unusually many shards.
+const maxStackShards = 16
+
+// rankShardsInto fills order with shard indices sorted by free capacity
+// descending, index ascending on ties (insertion sort: shard counts are
+// small). frees is caller scratch of the same length.
+func (p *Pool) rankShardsInto(order, frees []int) {
 	for i := range p.shards {
 		order[i] = i
 		p.shards[i].mu.Lock()
@@ -214,7 +226,6 @@ func (p *Pool) rankShards() []int {
 			order[j], order[j-1] = order[j-1], order[j]
 		}
 	}
-	return order
 }
 
 // Release returns n processors from the grant to the pool (job shrink),

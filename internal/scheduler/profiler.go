@@ -109,15 +109,30 @@ func (p *Profile) EverExpanded() bool {
 // least-damaging shrink first). Applications can only shrink to
 // configurations on which they have previously run.
 func (p *Profile) ShrinkPoints(cur grid.Topology) []grid.Topology {
-	seen := make(map[grid.Topology]bool)
+	// Deduplicate by linear scan over the output: a job visits a handful of
+	// chain configurations, so this beats allocating a map per call (the
+	// published policy asks at every queue-pressure contact). The first-seen
+	// order feeding sort.Slice is identical to the map-guarded version, so
+	// equal-Count ties sort the same.
 	var out []grid.Topology
 	for _, v := range p.Visits {
-		if v.Topo.Count() < cur.Count() && !seen[v.Topo] {
-			seen[v.Topo] = true
+		if v.Topo.Count() >= cur.Count() {
+			continue
+		}
+		dup := false
+		for _, t := range out {
+			if t == v.Topo {
+				dup = true
+				break
+			}
+		}
+		if !dup {
 			out = append(out, v.Topo)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Count() > out[j].Count() })
+	if len(out) > 1 {
+		sort.Slice(out, func(i, j int) bool { return out[i].Count() > out[j].Count() })
+	}
 	return out
 }
 

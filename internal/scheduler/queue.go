@@ -2,26 +2,42 @@ package scheduler
 
 import "sort"
 
-// jobQueue is the indexed wait queue that replaces the linear-scan slice:
-// a priority heap provides the FCFS head (higher Priority first, submission
-// id among equals) in O(log n), and per-need buckets let backfill find the
-// best-ranked job that fits the idle pool without scanning the whole queue
-// — the number of distinct processor needs is small (one per chain start
-// configuration) even when hundreds of thousands of jobs wait.
+// jobQueue is the indexed wait queue that replaces the linear-scan slice.
+// Head order (higher Priority first, submission id among equals) comes from
+// per-priority FIFO lists: jobs link intrusively (Job.qprev/qnext) into the
+// bucket for their priority, and the sorted bucket directory yields the
+// global head in O(1). Per-need buckets let backfill find the best-ranked
+// job that fits the idle pool without scanning the whole queue — the number
+// of distinct processor needs is small (one per chain start configuration)
+// even when hundreds of thousands of jobs wait.
 //
-// Started jobs are removed lazily: both indexes skip entries whose State
-// has left Queued, so a job started through one index costs nothing to
-// drop from the other. Need buckets whose heaps drain are pruned — eagerly
-// when bestFit surfaces an empty bucket, and by an amortized sweep every
-// ~len(needs) takes — so a long-running daemon churning jobs with many
-// distinct processor needs does not grow the index without bound or make
-// bestFit scan dead buckets forever.
+// The priority lists unlink eagerly on take, so walking them never touches
+// consumed jobs — head() and window() are O(1)/O(k) no matter how many jobs
+// have churned through. The need and tenant bucket heaps still remove
+// lazily (entries skipped when State left Queued): a job started through
+// the head index costs nothing to drop from them. Need buckets whose heaps
+// drain are pruned — eagerly when bestFit surfaces an empty bucket, and by
+// an amortized sweep every ~len(needs) takes — so a long-running daemon
+// churning jobs with many distinct processor needs does not grow the index
+// without bound or make bestFit scan dead buckets forever.
+//
+// version increments on every push and take; Core keys its materialized
+// queued-window caches on it so snapshots rebuild only when the queue
+// actually changed.
 type jobQueue struct {
-	order jobHeap          // every queued job, head order
-	need  map[int]*jobHeap // processor need -> queued jobs with that need
-	needs []int            // sorted distinct keys of need (may include empty buckets)
-	size  int              // live queued jobs
-	takes int              // takes since the last bucket sweep
+	prio    map[int]*prioList // priority -> FIFO list of queued jobs
+	prios   []int             // distinct keys of prio, sorted descending, buckets never empty
+	need    map[int]*jobHeap  // processor need -> queued jobs with that need
+	needs   []int             // sorted distinct keys of need (may include empty buckets)
+	size    int               // live queued jobs
+	takes   int               // takes since the last bucket sweep
+	version uint64            // bumped on every push/take
+
+	// deadNeeds/deadTenants are reusable scratch for the bucket-pruning
+	// passes in bestFit and tenantHeads, so steady-state backfill scans
+	// allocate nothing.
+	deadNeeds   []int
+	deadTenants []string
 
 	// The tenant index mirrors the need index per Spec.Tenant so a
 	// fair-share StartPicker can see every tenant's queue head without
@@ -30,6 +46,56 @@ type jobQueue struct {
 	byTenant  map[string]*jobHeap // tenant -> queued jobs for that tenant
 	tenants   []string            // sorted distinct keys of byTenant (may include empty buckets)
 	tenantIdx bool
+}
+
+// prioList is one priority bucket: a doubly linked FIFO of queued jobs in
+// ascending submission id, threaded through Job.qprev/qnext.
+type prioList struct {
+	head, tail *Job
+}
+
+// insert links j into the list keeping ascending id order. Submissions
+// arrive with monotonically increasing ids (and snapshot restore re-pushes
+// in id order), so the walk from the tail is O(1) in practice.
+func (l *prioList) insert(j *Job) {
+	at := l.tail
+	for at != nil && j.ID < at.ID {
+		at = at.qprev
+	}
+	if at == nil {
+		j.qnext = l.head
+		j.qprev = nil
+		if l.head != nil {
+			l.head.qprev = j
+		} else {
+			l.tail = j
+		}
+		l.head = j
+		return
+	}
+	j.qprev = at
+	j.qnext = at.qnext
+	if at.qnext != nil {
+		at.qnext.qprev = j
+	} else {
+		l.tail = j
+	}
+	at.qnext = j
+}
+
+// remove unlinks j from the list.
+func (l *prioList) remove(j *Job) {
+	if j.qprev != nil {
+		j.qprev.qnext = j.qnext
+	} else {
+		l.head = j.qnext
+	}
+	if j.qnext != nil {
+		j.qnext.qprev = j.qprev
+	} else {
+		l.tail = j.qprev
+	}
+	j.qprev, j.qnext = nil, nil
 }
 
 // jobLess is the queue's total order: higher priority first, then earlier
@@ -41,9 +107,24 @@ func jobLess(a, b *Job) bool {
 	return a.ID < b.ID
 }
 
-// push enqueues a job into both indexes.
+// push enqueues a job into every index.
 func (q *jobQueue) push(j *Job) {
-	q.order.push(j)
+	q.version++
+	p := j.Spec.Priority
+	pl, ok := q.prio[p]
+	if !ok {
+		if q.prio == nil {
+			q.prio = make(map[int]*prioList)
+		}
+		pl = &prioList{}
+		q.prio[p] = pl
+		// Insert the key keeping prios sorted descending.
+		i := sort.Search(len(q.prios), func(k int) bool { return q.prios[k] <= p })
+		q.prios = append(q.prios, 0)
+		copy(q.prios[i+1:], q.prios[i:])
+		q.prios[i] = p
+	}
+	pl.insert(j)
 	n := j.Spec.InitialTopo.Count()
 	b, ok := q.need[n]
 	if !ok {
@@ -67,15 +148,16 @@ func (q *jobQueue) push(j *Job) {
 // enableTenantIndex turns the per-tenant index on, backfilling it from any
 // jobs already queued (recovery installs the arbiter on a core that may
 // have restored a populated queue from a snapshot). Idempotent. Heap pop
-// order under the total jobLess order is insertion-order independent, so
-// walking the order heap's backing array keeps the index deterministic.
+// order under the total jobLess order is insertion-order independent, and
+// the priority lists are walked in deterministic head order, so the index
+// is deterministic.
 func (q *jobQueue) enableTenantIndex() {
 	if q.tenantIdx {
 		return
 	}
 	q.tenantIdx = true
-	for _, j := range q.order.h {
-		if j.State == Queued {
+	for _, p := range q.prios {
+		for j := q.prio[p].head; j != nil; j = j.qnext {
 			q.tenantPush(j)
 		}
 	}
@@ -104,7 +186,7 @@ func (q *jobQueue) tenantPush(j *Job) {
 // order. Buckets found empty are pruned on the way, exactly like bestFit's
 // need buckets.
 func (q *jobQueue) tenantHeads(dst []*Job) []*Job {
-	var dead []string
+	dead := q.deadTenants[:0]
 	for _, t := range q.tenants {
 		top := q.byTenant[t].peekLive()
 		if top == nil {
@@ -116,6 +198,7 @@ func (q *jobQueue) tenantHeads(dst []*Job) []*Job {
 	for _, t := range dead {
 		q.removeTenant(t)
 	}
+	q.deadTenants = dead[:0]
 	return dst
 }
 
@@ -132,14 +215,33 @@ func (q *jobQueue) removeTenant(t string) {
 func (q *jobQueue) len() int { return q.size }
 
 // head returns the next job in FCFS order without removing it.
-func (q *jobQueue) head() *Job { return q.order.peekLive() }
+func (q *jobQueue) head() *Job {
+	if len(q.prios) == 0 {
+		return nil
+	}
+	return q.prio[q.prios[0]].head
+}
 
-// take marks the job consumed. Both indexes drop it lazily: the caller
-// transitions the job out of Queued state, and stale entries are discarded
-// when they surface at a heap top. Every ~len(needs) takes the need index
-// is swept for empty buckets, keeping it proportional to the number of
-// needs actually waiting (amortized O(1) per take).
+// take marks the job consumed: it is unlinked from its priority list
+// immediately (emptied buckets are dropped so head() stays O(1)), while the
+// need/tenant heaps drop it lazily — the caller transitions the job out of
+// Queued state, and stale entries are discarded when they surface at a heap
+// top. Every ~len(needs) takes the need index is swept for empty buckets,
+// keeping it proportional to the number of needs actually waiting
+// (amortized O(1) per take).
 func (q *jobQueue) take(j *Job) {
+	q.version++
+	p := j.Spec.Priority
+	if pl, ok := q.prio[p]; ok {
+		pl.remove(j)
+		if pl.head == nil {
+			delete(q.prio, p)
+			i := sort.Search(len(q.prios), func(k int) bool { return q.prios[k] <= p })
+			if i < len(q.prios) && q.prios[i] == p {
+				q.prios = append(q.prios[:i], q.prios[i+1:]...)
+			}
+		}
+	}
 	q.size--
 	q.takes++
 	if q.takes >= 32 && q.takes >= len(q.needs) {
@@ -180,7 +282,7 @@ func (q *jobQueue) sweep() {
 	q.tenants = liveT
 }
 
-// removeNeed drops one bucket from both indexes.
+// removeNeed drops one bucket from both need-index structures.
 func (q *jobQueue) removeNeed(n int) {
 	delete(q.need, n)
 	i := sort.SearchInts(q.needs, n)
@@ -195,7 +297,7 @@ func (q *jobQueue) removeNeed(n int) {
 // empty are pruned on the way.
 func (q *jobQueue) bestFit(free int) *Job {
 	var best *Job
-	var dead []int
+	dead := q.deadNeeds[:0]
 	for _, n := range q.needs {
 		if n > free {
 			break
@@ -212,48 +314,39 @@ func (q *jobQueue) bestFit(free int) *Job {
 	for _, n := range dead {
 		q.removeNeed(n)
 	}
+	q.deadNeeds = dead[:0]
 	return best
 }
 
 // needsWindow appends the processor needs of the first k queued jobs in
 // head order to dst.
 func (q *jobQueue) needsWindow(dst []int, k int) []int {
-	q.window(k, func(j *Job) { dst = append(dst, j.Spec.InitialTopo.Count()) })
+	for _, p := range q.prios {
+		for j := q.prio[p].head; j != nil; j = j.qnext {
+			if k <= 0 {
+				return dst
+			}
+			dst = append(dst, j.Spec.InitialTopo.Count())
+			k--
+		}
+	}
 	return dst
 }
 
-// window visits the first k queued jobs in head order. It walks the heap
-// with a bounded frontier, so the cost is O(k log k) regardless of queue
-// length.
-func (q *jobQueue) window(k int, visit func(*Job)) {
-	if q.size == 0 || k <= 0 {
-		return
-	}
-	seen := 0
-	frontier := make([]int, 0, 2*k)
-	frontier = append(frontier, 0)
-	h := q.order.h
-	for len(frontier) > 0 && seen < k {
-		// Extract the frontier's minimum heap index.
-		mi := 0
-		for i := 1; i < len(frontier); i++ {
-			if jobLess(h[frontier[i]], h[frontier[mi]]) {
-				mi = i
+// window appends the first k queued jobs in head order to dst. The priority
+// lists hold live jobs only (take unlinks eagerly), so the walk is O(k)
+// with zero allocations regardless of queue length or churn history.
+func (q *jobQueue) window(dst []*Job, k int) []*Job {
+	for _, p := range q.prios {
+		for j := q.prio[p].head; j != nil; j = j.qnext {
+			if k <= 0 {
+				return dst
 			}
-		}
-		idx := frontier[mi]
-		frontier = append(frontier[:mi], frontier[mi+1:]...)
-		if h[idx].State == Queued {
-			visit(h[idx])
-			seen++
-		}
-		if l := 2*idx + 1; l < len(h) {
-			frontier = append(frontier, l)
-		}
-		if r := 2*idx + 2; r < len(h) {
-			frontier = append(frontier, r)
+			dst = append(dst, j)
+			k--
 		}
 	}
+	return dst
 }
 
 // jobHeap is a binary min-heap of queued jobs under jobLess with lazy

@@ -1,6 +1,8 @@
 package scheduler
 
 import (
+	"math/rand"
+	"sort"
 	"testing"
 
 	"repro/internal/grid"
@@ -93,6 +95,59 @@ func TestBestFitPrunesDeadBuckets(t *testing.T) {
 	q.push(j)
 	if got := q.bestFit(5); got != j {
 		t.Errorf("re-pushed need not found: got %v", got)
+	}
+}
+
+// TestWindowMatchesFullSortReference is the property test pinning the
+// queue's head-window traversal (the priority-list walk that replaced the
+// bounded-frontier heap walk) against a naive reference: sort every live
+// job by the total jobLess order and truncate. Randomized push/take
+// interleavings with heavy duplicate-priority ties, every k in 1..64.
+func TestWindowMatchesFullSortReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		var q jobQueue
+		var live []*Job
+		id := 0
+		nOps := 50 + rng.Intn(200)
+		for op := 0; op < nOps; op++ {
+			if len(live) > 0 && rng.Intn(3) == 0 {
+				i := rng.Intn(len(live))
+				j := live[i]
+				j.State = Running
+				q.take(j)
+				live = append(live[:i], live[i+1:]...)
+			} else {
+				j := queuedJob(id, 1+rng.Intn(16))
+				j.Spec.Priority = rng.Intn(4) // few levels => many ties
+				id++
+				q.push(j)
+				live = append(live, j)
+			}
+		}
+		ref := append([]*Job{}, live...)
+		sort.Slice(ref, func(i, j int) bool { return jobLess(ref[i], ref[j]) })
+		for k := 1; k <= 64; k++ {
+			got := q.window(nil, k)
+			want := ref
+			if len(want) > k {
+				want = want[:k]
+			}
+			if len(got) != len(want) {
+				t.Fatalf("trial %d k=%d: window has %d jobs, reference %d", trial, k, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d k=%d pos %d: window job %d, reference job %d",
+						trial, k, i, got[i].ID, want[i].ID)
+				}
+			}
+		}
+		if h := q.head(); len(ref) > 0 && h != ref[0] {
+			t.Fatalf("trial %d: head is job %v, reference head %d", trial, h, ref[0].ID)
+		} else if len(ref) == 0 && h != nil {
+			t.Fatalf("trial %d: head %d on an empty queue", trial, h.ID)
+		}
 	}
 }
 

@@ -26,7 +26,14 @@ func (s *Sim) WithCrashRestart(at float64, restart func(old scheduler.Interface)
 }
 
 // drain runs the event loop to completion, interposing scheduled
-// crash/restarts when the virtual clock reaches them.
+// crash/restarts when the virtual clock reaches them. Dispatch is
+// tick-batched (Engine.StepTick): all events sharing a timestamp are popped
+// and handled in one pass, in the same (time, insertion) order a
+// Step-per-event loop would use. Checking the crash predicate once per tick
+// instead of once per event is equivalent, because every event in a tick
+// carries the same timestamp t and the predicate t >= at is constant across
+// them — a crash can only ever land on a tick boundary, the simulation's
+// observable instants.
 func (s *Sim) drain() error {
 	sort.SliceStable(s.crashes, func(i, j int) bool { return s.crashes[i].at < s.crashes[j].at })
 	for {
@@ -45,7 +52,7 @@ func (s *Sim) drain() error {
 			s.core = core
 			s.crashes = s.crashes[1:]
 		}
-		if _, err := s.eng.Step(); err != nil {
+		if _, err := s.eng.StepTick(); err != nil {
 			return err
 		}
 	}

@@ -220,12 +220,13 @@ type Sim struct {
 	eng     *scheduler.Engine
 
 	inputs  []JobInput
-	byID    map[int]*jobState
-	pending []JobInput // not yet submitted
+	states  []*jobState // job id -> state (ids are dense: assigned 0,1,2,... at submit)
+	pending []JobInput  // not yet submitted
 	crashes []crashPlan
 
 	rebalanceEvery float64
-	finished       int // completed jobs; gates rebalance-tick rescheduling
+	finished       int  // completed jobs; gates rebalance-tick rescheduling
+	noIters        bool // skip per-iteration IterRecord building (WithoutIterRecords)
 }
 
 type jobState struct {
@@ -235,6 +236,12 @@ type jobState struct {
 	lastIter  float64 // duration of the iteration in flight / just completed
 	lastRed   float64
 	result    *JobResult
+	// job caches the scheduler's object for id, avoiding a map lookup per
+	// event; jobCore remembers which core it came from so the cache is
+	// refreshed after a crash/restart swaps the core (the old core's Job
+	// pointers are dead state).
+	job     *scheduler.Job
+	jobCore scheduler.Interface
 }
 
 // New prepares a simulation over a cluster with total processors. The
@@ -246,8 +253,35 @@ func New(total int, mode Mode, params *perfmodel.Params, jobs []JobInput) *Sim {
 		params: params,
 		eng:    scheduler.NewEngine(),
 		inputs: jobs,
-		byID:   make(map[int]*jobState),
 	}
+}
+
+// WithoutIterRecords drops the per-iteration IterRecord rows from JobResult
+// (JobResult.Iters stays empty; ComputeTime then reads 0). The records are
+// pure output — building them never feeds back into scheduling — so the
+// schedule is unchanged; million-job throughput runs use this the way
+// DisableTrace drops the core's allocation trace.
+func (s *Sim) WithoutIterRecords() *Sim {
+	s.noIters = true
+	return s
+}
+
+// state returns the tracked state for a job id, or nil before its arrival.
+func (s *Sim) state(id int) *jobState {
+	if id < 0 || id >= len(s.states) {
+		return nil
+	}
+	return s.states[id]
+}
+
+// job resolves the scheduler's object for a tracked job through the
+// per-state cache.
+func (s *Sim) job(js *jobState) *scheduler.Job {
+	if js.job == nil || js.jobCore != s.core {
+		j, _ := s.core.Job(js.id)
+		js.job, js.jobCore = j, s.core
+	}
+	return js.job
 }
 
 // WithPolicy overrides the Remap Scheduler policy for this simulation (used
@@ -362,7 +396,7 @@ func (s *Sim) Run() (*Result, error) {
 
 // startIteration schedules the next resize point for a running job.
 func (s *Sim) startIteration(js *jobState, now float64) error {
-	job, _ := s.core.Job(js.id)
+	job := s.job(js)
 	dur, err := s.params.IterTime(js.input.Model, job.Topo)
 	if err != nil {
 		return err
@@ -378,9 +412,14 @@ func (s *Sim) handleArrival(e scheduler.Event) error {
 	if err != nil {
 		return err
 	}
-	s.byID[job.ID] = &jobState{
-		input: in,
-		id:    job.ID,
+	for job.ID >= len(s.states) {
+		s.states = append(s.states, nil)
+	}
+	s.states[job.ID] = &jobState{
+		input:   in,
+		id:      job.ID,
+		job:     job,
+		jobCore: s.core,
 		result: &JobResult{
 			Name:        in.Spec.Name,
 			App:         in.Spec.App,
@@ -395,8 +434,8 @@ func (s *Sim) handleArrival(e scheduler.Event) error {
 // beginStarted kicks off the first iteration of every newly started job.
 func (s *Sim) beginStarted(started []*scheduler.Job, now float64) error {
 	for _, j := range started {
-		js, ok := s.byID[j.ID]
-		if !ok {
+		js := s.state(j.ID)
+		if js == nil {
 			return fmt.Errorf("simcluster: started unknown job %d", j.ID)
 		}
 		js.result.Start = now
@@ -407,20 +446,39 @@ func (s *Sim) beginStarted(started []*scheduler.Job, now float64) error {
 	return nil
 }
 
+// recordIter appends one completed iteration's row to the job's result
+// (dropped wholesale under WithoutIterRecords; the rows never feed back
+// into scheduling). The row slice is sized once to the job's full
+// iteration count, since every iteration produces exactly one row.
+func (s *Sim) recordIter(js *jobState, procs int, topo string, redist float64) {
+	if s.noIters {
+		return
+	}
+	if js.result.Iters == nil {
+		n := js.input.Spec.Iterations
+		if n < 1 {
+			n = 1
+		}
+		js.result.Iters = make([]IterRecord, 0, n)
+	}
+	js.result.Iters = append(js.result.Iters, IterRecord{
+		Iter:      js.itersDone,
+		Procs:     procs,
+		Topo:      topo,
+		IterTime:  js.lastIter,
+		RedistSec: redist,
+	})
+}
+
 func (s *Sim) handleResizePoint(e scheduler.Event) error {
-	js := s.byID[e.Job]
-	job, _ := s.core.Job(e.Job)
+	js := s.state(e.Job)
+	job := s.job(js)
 	now := e.Time
 	js.itersDone++
-	rec := IterRecord{
-		Iter:     js.itersDone,
-		Procs:    job.Topo.Count(),
-		Topo:     job.Topo.String(),
-		IterTime: js.lastIter,
-	}
+	topo := job.Topo
 
 	if js.itersDone >= js.input.Spec.Iterations {
-		js.result.Iters = append(js.result.Iters, rec)
+		s.recordIter(js, topo.Count(), topo.String(), 0)
 		js.result.End = now
 		started, err := s.core.Finish(e.Job, now)
 		if err != nil {
@@ -431,38 +489,36 @@ func (s *Sim) handleResizePoint(e scheduler.Event) error {
 	}
 
 	if s.mode == Static {
-		js.result.Iters = append(js.result.Iters, rec)
+		s.recordIter(js, topo.Count(), topo.String(), 0)
 		return s.startIteration(js, now)
 	}
 
-	from := job.Topo
-	d, err := s.core.Contact(e.Job, job.Topo, js.lastIter, js.lastRed, now)
+	d, err := s.core.Contact(e.Job, topo, js.lastIter, js.lastRed, now)
 	if err != nil {
 		return err
 	}
 	js.lastRed = 0
 	if d.Action == scheduler.ActionNone {
-		js.result.Iters = append(js.result.Iters, rec)
+		s.recordIter(js, topo.Count(), topo.String(), 0)
 		return s.startIteration(js, now)
 	}
 
 	// Resize granted: pay the redistribution cost, then resume.
 	var cost float64
 	if s.mode == DynamicCheckpoint {
-		cost = s.params.CheckpointTime(js.input.Model, from, d.Target)
+		cost = s.params.CheckpointTime(js.input.Model, topo, d.Target)
 	} else {
-		cost = s.params.RedistTime(js.input.Model, from, d.Target)
+		cost = s.params.RedistTime(js.input.Model, topo, d.Target)
 	}
 	js.lastRed = cost
 	js.result.TotalRedist += cost
-	rec.RedistSec = cost
-	js.result.Iters = append(js.result.Iters, rec)
+	s.recordIter(js, topo.Count(), topo.String(), cost)
 	s.eng.At(now+cost, scheduler.EvResizeDone, e.Job)
 	return nil
 }
 
 func (s *Sim) handleResizeDone(e scheduler.Event) error {
-	js := s.byID[e.Job]
+	js := s.state(e.Job)
 	started, err := s.core.ResizeComplete(e.Job, js.lastRed, e.Time)
 	if err != nil {
 		return err
@@ -491,8 +547,10 @@ func (s *Sim) handleRebalance(e scheduler.Event) error {
 // disabled for very large runs.
 func (s *Sim) collect() (*Result, error) {
 	res := &Result{Mode: s.mode, Total: s.total, Events: s.core.AllocEvents()}
-	for _, j := range s.core.Jobs() {
-		js := s.byID[j.ID]
+	jobs := s.core.Jobs()
+	res.Jobs = make([]JobResult, 0, len(jobs))
+	for _, j := range jobs {
+		js := s.state(j.ID)
 		if j.State != scheduler.Done {
 			return nil, fmt.Errorf("simcluster: job %q never finished (state %v)", j.Spec.Name, j.State)
 		}
